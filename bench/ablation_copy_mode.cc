@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Ablation: buffer consumption mode (paper Sec. II-B).
+ *
+ * Run-to-completion TouchDrop processes packets in place; copy-mode
+ * TouchDrop copies them into an application arena first (the Linux
+ * software-stack pattern). Copy-mode shortens each DMA buffer's use
+ * distance to the copy loop — the earliest self-invalidation point —
+ * at the cost of roughly 3x the CPU-side line traffic. This ablation
+ * shows how the consumption mode changes the DDIO problem and how
+ * IDIO behaves under both.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+
+namespace
+{
+
+harness::ExperimentConfig
+config(harness::NfKind kind, idio::Policy policy)
+{
+    harness::ExperimentConfig cfg;
+    cfg.numNfs = 2;
+    cfg.nfKind = kind;
+    cfg.traffic = harness::TrafficKind::Steady;
+    cfg.rateGbps = 4.0; // below copy-mode capacity: drop-free comparison
+    cfg.applyPolicy(policy);
+    return cfg;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("=== Ablation: run-to-completion vs copy-mode "
+                "consumption (steady 2x4 Gbps) ===\n");
+    bench::printConfigEcho(
+        config(harness::NfKind::TouchDrop, idio::Policy::Ddio));
+
+    const sim::Tick duration = 25 * sim::oneMs;
+
+    stats::TablePrinter table({"mode", "config", "mlcWB", "llcWB",
+                               "dramWr", "cpu reads", "p99 us",
+                               "drops"});
+    for (auto kind : {harness::NfKind::TouchDrop,
+                      harness::NfKind::CopyTouchDrop}) {
+        for (auto policy : {idio::Policy::Ddio, idio::Policy::Idio}) {
+            harness::TestSystem sys(config(kind, policy));
+            sys.start();
+            sys.runFor(duration);
+            const auto t = sys.totals();
+            table.addRow(
+                {harness::nfKindName(kind), idio::policyName(policy),
+                 std::to_string(t.mlcWritebacks),
+                 std::to_string(t.llcWritebacks),
+                 std::to_string(t.dramWrites),
+                 std::to_string(sys.core(0).reads.get()),
+                 stats::TablePrinter::num(
+                     sim::ticksToUs(sys.nf(0).latency.p99()), 1),
+                 std::to_string(t.rxDrops)});
+        }
+    }
+    table.print(std::cout);
+
+    std::printf("\nReading: copy-mode roughly triples the CPU line "
+                "traffic and adds the copy arena to the MLC working "
+                "set; self-invalidating right after the copy still "
+                "removes the DMA buffers' writebacks under IDIO.\n");
+    return 0;
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Shared machinery for the figure-reproduction benches.
+ *
+ * Every bench binary prints the series/rows of one paper table or
+ * figure. The helpers here run a single-burst experiment and extract
+ * the metrics the paper reports: transaction totals, burst processing
+ * time (first DMA until the NFs drain), percentile latencies, and
+ * 10 us rate timelines.
+ */
+
+#ifndef IDIO_BENCH_COMMON_HH
+#define IDIO_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "harness/system.hh"
+#include "stats/table.hh"
+
+namespace bench
+{
+
+/** Everything measured from one run. */
+struct RunMetrics
+{
+    harness::Totals totals;
+
+    /** First packet arrival (ticks). */
+    sim::Tick firstArrival = 0;
+
+    /** Tick at which the NFs finished the last burst packet. */
+    sim::Tick drainedAt = 0;
+
+    /** Burst processing time: firstArrival .. drainedAt. */
+    sim::Tick
+    execTime() const
+    {
+        return drainedAt > firstArrival ? drainedAt - firstArrival : 0;
+    }
+
+    std::uint64_t p50 = 0;
+    std::uint64_t p99 = 0;
+
+    /** Antagonist CPI proxy (0 when not co-running). */
+    double antagonistTpa = 0.0;
+};
+
+/**
+ * Run one burst per NIC and measure burst processing time: the system
+ * runs in small quanta until every delivered packet is processed (or
+ * @p limit passes).
+ */
+inline RunMetrics
+runSingleBurst(const harness::ExperimentConfig &config,
+               sim::Tick limit = 50 * sim::oneMs)
+{
+    harness::ExperimentConfig cfg = config;
+    cfg.traffic = harness::TrafficKind::Bursty;
+    cfg.burstPeriod = 10 * sim::oneSec; // effectively one burst
+
+    harness::TestSystem sys(cfg);
+    sys.start();
+
+    const std::uint64_t expected =
+        std::uint64_t(cfg.effectiveBurstPackets()) * cfg.numNfs;
+
+    RunMetrics m;
+    const sim::Tick quantum = 10 * sim::oneUs;
+    bool sawFirst = false;
+    while (sys.simulation().now() < limit) {
+        sys.runFor(quantum);
+        const auto t = sys.totals();
+        if (!sawFirst && t.rxPackets > 0) {
+            sawFirst = true;
+            m.firstArrival = sys.simulation().now() - quantum;
+        }
+        if (t.processedPackets + t.rxDrops >= expected &&
+            t.rxPackets >= expected) {
+            m.drainedAt = sys.simulation().now();
+            break;
+        }
+    }
+    if (m.drainedAt == 0)
+        m.drainedAt = sys.simulation().now();
+
+    // Let in-flight TX completions settle for latency accounting.
+    sys.runFor(100 * sim::oneUs);
+
+    m.totals = sys.totals();
+    m.p50 = sys.nf(0).latency.p50();
+    m.p99 = sys.nf(0).latency.p99();
+    if (sys.antagonist())
+        m.antagonistTpa = sys.antagonist()->ticksPerAccess();
+    return m;
+}
+
+/** Run a fixed duration (steady experiments). */
+inline RunMetrics
+runFor(const harness::ExperimentConfig &cfg, sim::Tick duration)
+{
+    harness::TestSystem sys(cfg);
+    sys.start();
+    sys.runFor(duration);
+
+    RunMetrics m;
+    m.totals = sys.totals();
+    m.drainedAt = duration;
+    m.p50 = sys.nf(0).latency.p50();
+    m.p99 = sys.nf(0).latency.p99();
+    if (sys.antagonist())
+        m.antagonistTpa = sys.antagonist()->ticksPerAccess();
+    return m;
+}
+
+/** "x.xx" ratio of two counters, "-" when the base is zero. */
+inline std::string
+ratio(std::uint64_t ours, std::uint64_t base, int precision = 2)
+{
+    if (base == 0)
+        return ours == 0 ? "0.00" : "inf";
+    return stats::TablePrinter::num(
+        static_cast<double>(ours) / static_cast<double>(base),
+        precision);
+}
+
+/** Print the Table I configuration echo every bench starts with. */
+inline void
+printConfigEcho(const harness::ExperimentConfig &cfg)
+{
+    std::printf("# Table I config: %u-core aarch64-class @ %.1f GHz, "
+                "L1D %lluKB/%u, MLC %lluKB/%u, LLC %lluKB/%u "
+                "(%u DDIO ways), DDR4 %.0fGB/s\n",
+                cfg.hier.numCores, cfg.hier.cpuFreqGHz,
+                (unsigned long long)cfg.hier.l1.sizeBytes / 1024,
+                cfg.hier.l1.assoc,
+                (unsigned long long)cfg.hier.mlc.sizeBytes / 1024,
+                cfg.hier.mlc.assoc,
+                (unsigned long long)cfg.hier.llcSizeBytes() / 1024,
+                cfg.hier.llcPerCore.assoc, cfg.hier.ddioWays,
+                cfg.hier.dramBandwidthGBps);
+    std::printf("# workload: %s\n\n", cfg.summary().c_str());
+}
+
+} // namespace bench
+
+#endif // IDIO_BENCH_COMMON_HH

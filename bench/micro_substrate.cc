@@ -1,0 +1,124 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation substrate: raw
+ * hierarchy operation throughput, event-queue scheduling, Toeplitz
+ * hashing, TLP encoding, and classifier throughput. These quantify
+ * simulator performance (host-side), not simulated metrics.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/hierarchy.hh"
+#include "net/flow.hh"
+#include "nic/classifier.hh"
+#include "nic/tlp.hh"
+#include "sim/event_queue.hh"
+#include "sim/simulation.hh"
+
+namespace
+{
+
+void
+BM_EventQueueScheduleFire(benchmark::State &state)
+{
+    sim::EventQueue q;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        q.schedule(q.now() + 10, [&sink] { ++sink; });
+        q.runUntil(q.now() + 10);
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void
+BM_HierarchyCoreReadHit(benchmark::State &state)
+{
+    sim::Simulation s;
+    cache::HierarchyConfig cfg;
+    cfg.numCores = 2;
+    cache::MemoryHierarchy hier(s, "sys", cfg);
+    hier.coreRead(0, 0x1000);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hier.coreRead(0, 0x1000));
+}
+BENCHMARK(BM_HierarchyCoreReadHit);
+
+void
+BM_HierarchyStreamingMiss(benchmark::State &state)
+{
+    sim::Simulation s;
+    cache::HierarchyConfig cfg;
+    cfg.numCores = 2;
+    cache::MemoryHierarchy hier(s, "sys", cfg);
+    sim::Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hier.coreRead(0, a));
+        a += 64;
+    }
+}
+BENCHMARK(BM_HierarchyStreamingMiss);
+
+void
+BM_HierarchyPcieWrite(benchmark::State &state)
+{
+    sim::Simulation s;
+    cache::HierarchyConfig cfg;
+    cfg.numCores = 2;
+    cache::MemoryHierarchy hier(s, "sys", cfg);
+    sim::Addr a = 0;
+    for (auto _ : state) {
+        hier.pcieWrite(a);
+        a = (a + 64) & 0xFFFFF;
+    }
+}
+BENCHMARK(BM_HierarchyPcieWrite);
+
+void
+BM_ToeplitzHash(benchmark::State &state)
+{
+    net::FiveTuple t;
+    t.srcIp = 0x0a000001;
+    t.dstIp = 0x0a000002;
+    t.srcPort = 40000;
+    t.dstPort = 5000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net::toeplitzHash(t));
+        ++t.srcPort;
+    }
+}
+BENCHMARK(BM_ToeplitzHash);
+
+void
+BM_TlpEncodeDecode(benchmark::State &state)
+{
+    nic::TlpMeta m;
+    m.destCore = 17;
+    m.isHeader = true;
+    for (auto _ : state) {
+        const auto dw0 = nic::encodeTlp(m);
+        benchmark::DoNotOptimize(nic::decodeTlp(dw0));
+    }
+}
+BENCHMARK(BM_TlpEncodeDecode);
+
+void
+BM_ClassifierPacket(benchmark::State &state)
+{
+    sim::Simulation s;
+    nic::FlowDirector fdir(8);
+    nic::IdioClassifier cls(s, "cls", fdir, {}, 8);
+    net::Packet p;
+    p.flow.srcIp = 1;
+    p.flow.dstIp = 2;
+    p.flow.srcPort = 3;
+    p.flow.dstPort = 4;
+    p.frameBytes = 1514;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cls.classify(p));
+}
+BENCHMARK(BM_ClassifierPacket);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

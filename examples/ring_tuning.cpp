@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Domain example: RX ring provisioning for bursty tenants.
+ *
+ * Operators size RX descriptor rings to absorb bursts without drops,
+ * but the paper shows large rings are what create MLC/LLC writeback
+ * storms under DDIO (Fig. 4: rings above ~692 MTU buffers overflow
+ * the 1 MB MLC). This example sweeps the ring size under 25 Gbps
+ * bursts and reports drops and tail latency for DDIO and IDIO: with
+ * IDIO, the operator can provision large, drop-free rings without
+ * paying the writeback/latency tax.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "harness/system.hh"
+#include "stats/table.hh"
+
+namespace
+{
+
+struct Point
+{
+    std::uint64_t drops;
+    double p99Us;
+    std::uint64_t mlcWb;
+    std::uint64_t dramWr;
+};
+
+Point
+run(idio::Policy policy, std::uint32_t ring)
+{
+    harness::ExperimentConfig cfg;
+    cfg.numNfs = 2;
+    cfg.nfKind = harness::NfKind::TouchDrop;
+    cfg.traffic = harness::TrafficKind::Bursty;
+    cfg.rateGbps = 25.0;
+    cfg.nic.ringSize = ring;
+    cfg.burstPackets = 1024; // burst size fixed; ring must absorb it
+    cfg.applyPolicy(policy);
+
+    harness::TestSystem sys(cfg);
+    sys.start();
+    sys.runFor(30 * sim::oneMs);
+
+    Point p;
+    p.drops = sys.totals().rxDrops;
+    p.p99Us = sim::ticksToUs(sys.nf(0).latency.p99());
+    p.mlcWb = sys.totals().mlcWritebacks;
+    p.dramWr = sys.totals().dramWrites;
+    return p;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("RX ring provisioning under 25 Gbps bursts of 1024 "
+                "packets (2x TouchDrop):\n\n");
+
+    stats::TablePrinter t({"ring", "config", "drops", "p99 us",
+                           "mlcWB", "dramWr"});
+    for (std::uint32_t ring : {256u, 512u, 1024u, 2048u}) {
+        for (auto policy : {idio::Policy::Ddio, idio::Policy::Idio}) {
+            const Point p = run(policy, ring);
+            t.addRow({std::to_string(ring), idio::policyName(policy),
+                      std::to_string(p.drops),
+                      stats::TablePrinter::num(p.p99Us, 1),
+                      std::to_string(p.mlcWb),
+                      std::to_string(p.dramWr)});
+        }
+    }
+    t.print(std::cout);
+
+    std::printf("\nReading: small rings drop burst tails under both "
+                "policies; large rings absorb the burst but under "
+                "DDIO pay for it in writeback traffic and p99. IDIO "
+                "decouples ring size from the writeback tax.\n");
+    return 0;
+}

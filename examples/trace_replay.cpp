@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Domain example: record a workload to pcap, then A/B-test policies
+ * against the identical trace.
+ *
+ * Production tuning rarely happens against synthetic generators: you
+ * capture real traffic and replay it against candidate configurations.
+ * This example does exactly that inside the simulator:
+ *
+ *   1. run a mixed Poisson workload and record every packet arriving
+ *      at the NIC into a standard pcap file (openable with wireshark),
+ *   2. replay the *identical* capture through a DDIO system and an
+ *      IDIO system via gen::TraceTrafficGen,
+ *   3. compare writebacks, DRAM traffic and tail latency with the
+ *      arrival process held perfectly constant.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "gen/traffic.hh"
+#include "harness/system.hh"
+#include "net/pcap.hh"
+#include "stats/table.hh"
+
+namespace
+{
+
+const char *pcapPath = "/tmp/idio_trace_replay.pcap";
+
+/** Phase 1: synthesise and capture. */
+std::vector<net::TraceRecord>
+capture()
+{
+    harness::ExperimentConfig cfg;
+    cfg.numNfs = 1;
+    cfg.traffic = harness::TrafficKind::Poisson;
+    cfg.rateGbps = 9.0;
+    cfg.applyPolicy(idio::Policy::Ddio);
+
+    harness::TestSystem sys(cfg);
+    net::PcapWriter writer(pcapPath);
+    sys.nicPort(0).setRxTap(
+        [&writer](sim::Tick when, const net::Packet &pkt) {
+            writer.record(when, pkt);
+        });
+    sys.start();
+    sys.runFor(10 * sim::oneMs);
+    writer.close();
+
+    auto trace = net::PcapReader::readAll(pcapPath);
+    std::printf("captured %zu packets to %s\n\n", trace.size(),
+                pcapPath);
+    return trace;
+}
+
+struct Result
+{
+    std::uint64_t mlcWb;
+    std::uint64_t dramWr;
+    double p99Us;
+    std::uint64_t processed;
+};
+
+/** Phase 2: replay against a policy. */
+Result
+replay(const std::vector<net::TraceRecord> &trace, idio::Policy policy)
+{
+    harness::ExperimentConfig cfg;
+    cfg.numNfs = 1;
+    cfg.traffic = harness::TrafficKind::None; // we drive the NIC
+    cfg.applyPolicy(policy);
+
+    harness::TestSystem sys(cfg);
+    gen::TraceTrafficGen gen(sys.simulation(), "system.traceGen",
+                             sys.nicPort(0), trace);
+    sys.start();
+    gen.start();
+    sys.runFor(15 * sim::oneMs);
+
+    Result r;
+    r.mlcWb = sys.totals().mlcWritebacks;
+    r.dramWr = sys.totals().dramWrites;
+    r.p99Us = sim::ticksToUs(sys.nf(0).latency.p99());
+    r.processed = sys.totals().processedPackets;
+    return r;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("Trace-driven A/B test: capture once, replay under "
+                "DDIO and IDIO\n\n");
+
+    const auto trace = capture();
+    const Result ddio = replay(trace, idio::Policy::Ddio);
+    const Result idioR = replay(trace, idio::Policy::Idio);
+
+    stats::TablePrinter t({"metric", "DDIO", "IDIO"});
+    t.addRow({"packets processed", std::to_string(ddio.processed),
+              std::to_string(idioR.processed)});
+    t.addRow({"MLC writebacks", std::to_string(ddio.mlcWb),
+              std::to_string(idioR.mlcWb)});
+    t.addRow({"DRAM writes", std::to_string(ddio.dramWr),
+              std::to_string(idioR.dramWr)});
+    t.addRow({"p99 (us)", stats::TablePrinter::num(ddio.p99Us, 1),
+              stats::TablePrinter::num(idioR.p99Us, 1)});
+    t.print(std::cout);
+
+    std::printf("\nBoth columns saw byte-identical arrivals (the "
+                "replayed capture), so every delta is attributable "
+                "to the policy.\n");
+    std::remove(pcapPath);
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * MlcDirectory implementation.
+ */
+
+#include "directory.hh"
+
+#include "sim/simulation.hh"
+
+namespace cache
+{
+
+namespace
+{
+
+std::uint32_t
+directorySets(std::uint64_t numEntries, std::uint32_t assoc)
+{
+    std::uint64_t sets = numEntries / assoc;
+    if (sets == 0)
+        sets = 1;
+    return static_cast<std::uint32_t>(sets);
+}
+
+} // anonymous namespace
+
+MlcDirectory::MlcDirectory(sim::Simulation &simulation,
+                           const std::string &name,
+                           std::uint64_t numEntries, std::uint32_t assoc,
+                           const std::string &replacement)
+    : sim::SimObject(simulation, name),
+      statGroup(simulation.statsRegistry(), name),
+      lookups(statGroup, "lookups", "directory lookups"),
+      insertions(statGroup, "insertions", "directory insertions"),
+      capacityEvictions(statGroup, "capacityEvictions",
+                        "entries displaced by capacity pressure"),
+      array(TagArray::withSets(directorySets(numEntries, assoc), assoc,
+                               makeReplacementPolicy(replacement)))
+{
+}
+
+std::uint64_t
+MlcDirectory::sharersOf(sim::Addr addr) const
+{
+    const CacheLine *l = array.peek(addr);
+    return l ? l->sharers : 0;
+}
+
+DirectoryVictim
+MlcDirectory::add(sim::CoreId core, sim::Addr addr)
+{
+    ++lookups;
+    LineRef ref = array.lookup(addr);
+    if (ref) {
+        ref.line->sharers |= std::uint64_t(1) << core;
+        array.touch(ref);
+        return {};
+    }
+
+    DirectoryVictim victim;
+    LineRef slot = array.findFillSlot(addr);
+    if (slot.line->valid) {
+        victim.valid = true;
+        victim.addr = slot.line->addr;
+        victim.sharers = slot.line->sharers;
+        ++capacityEvictions;
+    }
+    CacheLine &l = array.fill(slot, addr, false, false);
+    l.sharers = std::uint64_t(1) << core;
+    ++insertions;
+    return victim;
+}
+
+void
+MlcDirectory::remove(sim::CoreId core, sim::Addr addr)
+{
+    LineRef ref = array.lookup(addr);
+    if (!ref)
+        return;
+    ref.line->sharers &= ~(std::uint64_t(1) << core);
+    if (ref.line->sharers == 0)
+        array.invalidate(ref);
+}
+
+void
+MlcDirectory::removeAll(sim::Addr addr)
+{
+    LineRef ref = array.lookup(addr);
+    if (ref)
+        array.invalidate(ref);
+}
+
+} // namespace cache

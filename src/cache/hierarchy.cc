@@ -1,0 +1,527 @@
+/**
+ * @file
+ * MemoryHierarchy implementation.
+ */
+
+#include "hierarchy.hh"
+
+#include "mem/phys_alloc.hh"
+#include "sim/simulation.hh"
+
+namespace cache
+{
+
+MemoryHierarchy::MemoryHierarchy(sim::Simulation &simulation,
+                                 const std::string &name,
+                                 const HierarchyConfig &config)
+    : sim::SimObject(simulation, name),
+      statGroup(simulation.statsRegistry(), name),
+      directDramWrites(statGroup, "directDramWrites",
+                       "inbound DMA writes steered straight to DRAM"),
+      selfInvalFaults(statGroup, "selfInvalFaults",
+                      "self-invalidates refused on non-Invalidatable "
+                      "pages"),
+      pcieReads(statGroup, "pcieReads", "outbound DMA cacheline reads"),
+      pcieWrites(statGroup, "pcieWrites",
+                 "inbound DMA cacheline writes"),
+      coherenceMigrations(statGroup, "coherenceMigrations",
+                          "lines migrated between private caches"),
+      cfg(config)
+{
+    if (cfg.numCores == 0 || cfg.numCores > 63)
+        sim::fatal("numCores %u out of range [1, 63]", cfg.numCores);
+
+    l1Lat = cfg.cyclesToTicks(cfg.l1.latencyCycles);
+    mlcLat = cfg.cyclesToTicks(cfg.mlc.latencyCycles);
+    llcLat = cfg.cyclesToTicks(cfg.llcPerCore.latencyCycles);
+
+    std::uint64_t totalMlcLines = 0;
+    for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+        const std::string coreName =
+            name + ".core" + std::to_string(c);
+        l1s.push_back(std::make_unique<PrivateCache>(
+            simulation, coreName + ".l1d", cfg.l1.sizeBytes,
+            cfg.l1.assoc, cfg.replacement));
+        mlcs.push_back(std::make_unique<PrivateCache>(
+            simulation, coreName + ".mlc", cfg.mlcSize(c),
+            cfg.mlc.assoc, cfg.replacement));
+        totalMlcLines += cfg.mlcSize(c) / mem::lineSize;
+    }
+
+    sharedLlc = std::make_unique<NonInclusiveLlc>(
+        simulation, name + ".llc", cfg.llcSizeBytes(),
+        cfg.llcPerCore.assoc, cfg.ddioWays, cfg.replacement);
+
+    const auto dirEntries = static_cast<std::uint64_t>(
+        static_cast<double>(totalMlcLines) * cfg.directoryCoverage);
+    dir = std::make_unique<MlcDirectory>(simulation, name + ".dir",
+                                         dirEntries, cfg.directoryAssoc,
+                                         cfg.replacement);
+
+    mem::DramConfig dramCfg;
+    dramCfg.accessLatencyNs = cfg.dramLatencyNs;
+    dramCfg.bandwidthGBps = cfg.dramBandwidthGBps;
+    dramModel = std::make_unique<mem::DramModel>(
+        simulation, name + ".dram", dramCfg);
+}
+
+mem::AccessResult
+MemoryHierarchy::coreRead(sim::CoreId core, sim::Addr addr)
+{
+    return coreAccess(core, addr, mem::AccessType::Read);
+}
+
+mem::AccessResult
+MemoryHierarchy::coreWrite(sim::CoreId core, sim::Addr addr)
+{
+    return coreAccess(core, addr, mem::AccessType::Write);
+}
+
+mem::AccessResult
+MemoryHierarchy::coreAccess(sim::CoreId core, sim::Addr addr,
+                            mem::AccessType type)
+{
+    addr = mem::lineAlign(addr);
+    PrivateCache &l1c = *l1s[core];
+    PrivateCache &mlcc = *mlcs[core];
+    const bool isWrite = (type == mem::AccessType::Write);
+
+    sim::Tick lat = l1Lat;
+
+    // L1 hit.
+    if (LineRef ref = l1c.probe(addr)) {
+        ++l1c.hits;
+        l1c.tags().touch(ref);
+        if (isWrite)
+            ref.line->dirty = true;
+        return {lat, mem::HitLevel::L1};
+    }
+    ++l1c.misses;
+
+    lat += mlcLat;
+
+    // MLC hit: fill L1 and serve. The first demand hit retires a
+    // prefetched line (the prefetch was useful).
+    if (LineRef ref = mlcc.probe(addr)) {
+        ++mlcc.hits;
+        mlcc.tags().touch(ref);
+        if (ref.line->prefetched) {
+            ref.line->prefetched = false;
+            if (prefetchRetireObserver)
+                prefetchRetireObserver(core);
+        }
+        l1Fill(core, addr, isWrite);
+        return {lat, mem::HitLevel::MLC};
+    }
+    ++mlcc.misses;
+
+    lat += llcLat;
+
+    // Migratory coherence: another core's private caches may hold the
+    // (possibly dirty) line; pull it over before consulting LLC/DRAM.
+    {
+        bool dirty = false;
+        bool io = false;
+        if (migrateFromPeers(core, addr, &dirty, &io)) {
+            installMlc(core, addr, dirty, io, false);
+            l1Fill(core, addr, isWrite);
+            return {lat, mem::HitLevel::LLC};
+        }
+    }
+
+    // LLC lookup: a hit moves the data out of the LLC into the MLC
+    // (the tag conceptually moves to the Excl-MLC directory, Fig. 2
+    // steps A-2.1 / B-2.1).
+    bool dirty = false;
+    bool io = false;
+    mem::HitLevel level;
+    if (LineRef ref = sharedLlc->probe(addr)) {
+        ++sharedLlc->hits;
+        ++sharedLlc->demandMoves;
+        dirty = ref.line->dirty;
+        io = ref.line->io;
+        sharedLlc->tags().invalidate(ref);
+        level = mem::HitLevel::LLC;
+    } else {
+        ++sharedLlc->misses;
+        lat += dramModel->access(mem::AccessType::Read);
+        level = mem::HitLevel::DRAM;
+    }
+
+    installMlc(core, addr, dirty, io, false);
+    l1Fill(core, addr, isWrite);
+    return {lat, level};
+}
+
+void
+MemoryHierarchy::installMlc(sim::CoreId core, sim::Addr addr, bool dirty,
+                            bool io, bool isPrefetch)
+{
+    PrivateCache &mlcc = *mlcs[core];
+    LineRef slot = mlcc.tags().findFillSlot(addr);
+    if (slot.line->valid)
+        evictMlcVictim(core, *slot.line);
+    CacheLine &line = mlcc.tags().fill(slot, addr, dirty, io);
+    line.prefetched = isPrefetch;
+    if (isPrefetch)
+        ++mlcc.prefetchFills;
+    else
+        ++mlcc.fills;
+
+    DirectoryVictim dv = dir->add(core, addr);
+    if (dv.valid)
+        handleDirectoryVictim(dv);
+}
+
+void
+MemoryHierarchy::evictMlcVictim(sim::CoreId core, CacheLine victim)
+{
+    notePrefetchGone(core, victim);
+
+    // Merge a dirtier L1 copy into the outgoing victim and drop it
+    // (the L1-subset-of-MLC invariant).
+    bool l1Dirty = false;
+    dropFromL1(core, victim.addr, &l1Dirty);
+    victim.dirty = victim.dirty || l1Dirty;
+
+    dir->remove(core, victim.addr);
+
+    PrivateCache &mlcc = *mlcs[core];
+    if (victim.dirty)
+        ++mlcc.writebacks;
+    else
+        ++mlcc.cleanEvictions;
+
+    if (victim.dirty || cfg.insertCleanVictims) {
+        llcInsertVictim(victim.addr, victim.dirty, victim.io,
+                        cfg.coreLlcMask(core));
+        if (mlcWbObserver)
+            mlcWbObserver(core);
+    }
+}
+
+void
+MemoryHierarchy::llcInsertVictim(sim::Addr addr, bool dirty, bool io,
+                                 WayMask allocMask)
+{
+    ++sharedLlc->victimInserts;
+    if (LineRef ref = sharedLlc->probe(addr)) {
+        // Rare non-exclusive leftover: update in place.
+        ref.line->dirty = ref.line->dirty || dirty;
+        ref.line->io = ref.line->io || io;
+        sharedLlc->tags().touch(ref);
+        return;
+    }
+    LineRef slot = sharedLlc->tags().findFillSlot(addr, allocMask);
+    if (slot.line->valid)
+        evictLlcLine(*slot.line);
+    sharedLlc->tags().fill(slot, addr, dirty, io);
+}
+
+void
+MemoryHierarchy::evictLlcLine(const CacheLine &line)
+{
+    if (line.dirty) {
+        dramModel->access(mem::AccessType::Write);
+        ++sharedLlc->writebacks;
+    } else {
+        ++sharedLlc->cleanDrops;
+    }
+}
+
+void
+MemoryHierarchy::l1Fill(sim::CoreId core, sim::Addr addr, bool makeDirty)
+{
+    PrivateCache &l1c = *l1s[core];
+    if (LineRef ref = l1c.probe(addr)) {
+        l1c.tags().touch(ref);
+        if (makeDirty)
+            ref.line->dirty = true;
+        return;
+    }
+    LineRef slot = l1c.tags().findFillSlot(addr);
+    if (slot.line->valid) {
+        // Write a dirty L1 victim through to its MLC line.
+        if (slot.line->dirty) {
+            LineRef mlcRef = mlcs[core]->probe(slot.line->addr);
+            SIM_ASSERT(mlcRef,
+                       "L1 victim not present in MLC (inclusion "
+                       "violated)");
+            mlcRef.line->dirty = true;
+        }
+        l1c.tags().invalidate(slot);
+    }
+    l1c.tags().fill(slot, addr, makeDirty, false);
+    ++l1c.fills;
+}
+
+void
+MemoryHierarchy::dropFromL1(sim::CoreId core, sim::Addr addr,
+                            bool *dirtyOut)
+{
+    PrivateCache &l1c = *l1s[core];
+    if (LineRef ref = l1c.probe(addr)) {
+        if (dirtyOut)
+            *dirtyOut = ref.line->dirty;
+        l1c.tags().invalidate(ref);
+    } else if (dirtyOut) {
+        *dirtyOut = false;
+    }
+}
+
+void
+MemoryHierarchy::invalidateMlcCopies(sim::Addr addr)
+{
+    const std::uint64_t sharers = dir->sharersOf(addr);
+    if (!sharers)
+        return;
+    for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+        if (!(sharers & (std::uint64_t(1) << c)))
+            continue;
+        dropFromL1(c, addr);
+        if (LineRef ref = mlcs[c]->probe(addr)) {
+            notePrefetchGone(c, *ref.line);
+            mlcs[c]->tags().invalidate(ref);
+            ++mlcs[c]->pcieInvals;
+        }
+    }
+    dir->removeAll(addr);
+}
+
+bool
+MemoryHierarchy::migrateFromPeers(sim::CoreId requester, sim::Addr addr,
+                                  bool *dirtyOut, bool *ioOut)
+{
+    const std::uint64_t sharers =
+        dir->sharersOf(addr) & ~(std::uint64_t(1) << requester);
+    if (!sharers)
+        return false;
+
+    bool found = false;
+    for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+        if (!(sharers & (std::uint64_t(1) << c)))
+            continue;
+        bool l1Dirty = false;
+        dropFromL1(c, addr, &l1Dirty);
+        if (LineRef ref = mlcs[c]->probe(addr)) {
+            *dirtyOut = *dirtyOut || ref.line->dirty || l1Dirty;
+            *ioOut = *ioOut || ref.line->io;
+            notePrefetchGone(c, *ref.line);
+            mlcs[c]->tags().invalidate(ref);
+            dir->remove(c, addr);
+            found = true;
+        } else {
+            dir->remove(c, addr);
+        }
+    }
+    if (found)
+        ++coherenceMigrations;
+    return found;
+}
+
+void
+MemoryHierarchy::handleDirectoryVictim(const DirectoryVictim &victim)
+{
+    // The directory lost track of this line; every MLC copy must go.
+    // Dirty copies are written back into the LLC like normal victims.
+    for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+        if (!(victim.sharers & (std::uint64_t(1) << c)))
+            continue;
+        bool l1Dirty = false;
+        dropFromL1(c, victim.addr, &l1Dirty);
+        if (LineRef ref = mlcs[c]->probe(victim.addr)) {
+            const bool dirty = ref.line->dirty || l1Dirty;
+            const bool io = ref.line->io;
+            notePrefetchGone(c, *ref.line);
+            mlcs[c]->tags().invalidate(ref);
+            ++mlcs[c]->backInvals;
+            if (dirty)
+                ++mlcs[c]->writebacks;
+            else
+                ++mlcs[c]->cleanEvictions;
+            if (dirty || cfg.insertCleanVictims) {
+                llcInsertVictim(victim.addr, dirty, io,
+                                cfg.coreLlcMask(c));
+                if (mlcWbObserver)
+                    mlcWbObserver(c);
+            }
+        }
+    }
+}
+
+bool
+MemoryHierarchy::coreInvalidate(sim::CoreId core, sim::Addr addr)
+{
+    addr = mem::lineAlign(addr);
+    if (cfg.pageAttributes && !cfg.pageAttributes->isInvalidatable(addr)) {
+        ++selfInvalFaults;
+        return false;
+    }
+
+    dropFromL1(core, addr);
+    if (LineRef ref = mlcs[core]->probe(addr)) {
+        notePrefetchGone(core, *ref.line);
+        mlcs[core]->tags().invalidate(ref);
+        ++mlcs[core]->selfInvals;
+    }
+    dir->remove(core, addr);
+
+    if (cfg.invalidateReachesLlc) {
+        if (LineRef ref = sharedLlc->probe(addr)) {
+            sharedLlc->tags().invalidate(ref);
+            ++sharedLlc->selfInvals;
+        }
+    }
+    return true;
+}
+
+std::uint64_t
+MemoryHierarchy::invalidateRange(sim::CoreId core, sim::Addr addr,
+                                 std::uint64_t bytes)
+{
+    std::uint64_t dropped = 0;
+    const sim::Addr first = mem::lineAlign(addr);
+    const sim::Addr last = mem::lineAlign(addr + bytes - 1);
+    for (sim::Addr a = first; a <= last; a += mem::lineSize) {
+        const bool hadLine = mlcs[core]->contains(a);
+        if (coreInvalidate(core, a) && hadLine)
+            ++dropped;
+    }
+    return dropped;
+}
+
+void
+MemoryHierarchy::pcieWrite(sim::Addr addr)
+{
+    addr = mem::lineAlign(addr);
+    ++pcieWrites;
+
+    // P1/P2: drop MLC copies (the whole line is being overwritten).
+    invalidateMlcCopies(addr);
+
+    // P2/P3/P4: in-place update wherever the line already lives.
+    if (LineRef ref = sharedLlc->probe(addr)) {
+        ref.line->dirty = true;
+        ref.line->io = true;
+        sharedLlc->tags().touch(ref);
+        ++sharedLlc->ddioUpdates;
+        return;
+    }
+
+    // P1/P5: write-allocate into the DDIO ways.
+    LineRef slot =
+        sharedLlc->tags().findFillSlot(addr, sharedLlc->ddioMask());
+    if (slot.line->valid) {
+        evictLlcLine(*slot.line);
+        ++sharedLlc->ddioWayEvictions;
+    }
+    sharedLlc->tags().fill(slot, addr, true, true);
+    ++sharedLlc->ddioAllocs;
+}
+
+void
+MemoryHierarchy::pcieWriteDirectDram(sim::Addr addr)
+{
+    addr = mem::lineAlign(addr);
+    ++pcieWrites;
+    ++directDramWrites;
+
+    invalidateMlcCopies(addr);
+    if (LineRef ref = sharedLlc->probe(addr)) {
+        // Cached copy is stale after the overwrite; drop silently.
+        sharedLlc->tags().invalidate(ref);
+    }
+    dramModel->access(mem::AccessType::Write);
+}
+
+sim::Tick
+MemoryHierarchy::pcieRead(sim::Addr addr)
+{
+    addr = mem::lineAlign(addr);
+    ++pcieReads;
+
+    // Pull dirty MLC copies back into the LLC and invalidate them
+    // (paper Fig. 3 right: egress reads invalidate MLC copies).
+    std::uint64_t sharers = dir->sharersOf(addr);
+    if (sharers) {
+        for (std::uint32_t c = 0; c < cfg.numCores; ++c) {
+            if (!(sharers & (std::uint64_t(1) << c)))
+                continue;
+            bool l1Dirty = false;
+            dropFromL1(c, addr, &l1Dirty);
+            if (LineRef ref = mlcs[c]->probe(addr)) {
+                const bool dirty = ref.line->dirty || l1Dirty;
+                const bool io = ref.line->io;
+                notePrefetchGone(c, *ref.line);
+                mlcs[c]->tags().invalidate(ref);
+                ++mlcs[c]->pcieInvals;
+                if (dirty) {
+                    ++mlcs[c]->writebacks;
+                    llcInsertVictim(addr, true, io, ~WayMask(0));
+                    if (mlcWbObserver)
+                        mlcWbObserver(c);
+                }
+            }
+        }
+        dir->removeAll(addr);
+    }
+
+    if (LineRef ref = sharedLlc->probe(addr)) {
+        sharedLlc->tags().touch(ref);
+        return llcLat;
+    }
+    return dramModel->access(mem::AccessType::Read);
+}
+
+bool
+MemoryHierarchy::mlcPrefetch(sim::CoreId core, sim::Addr addr)
+{
+    addr = mem::lineAlign(addr);
+    if (mlcs[core]->contains(addr))
+        return false;
+
+    // A prefetch probe that finds the line owned by another core's
+    // private caches drops the hint: the data there may be dirty, and
+    // stealing it on a speculative hint would thrash. (DMA hints never
+    // hit this case — the inbound write already invalidated all MLC
+    // copies — but the guard keeps the single-owner invariant under
+    // arbitrary usage.)
+    if (dir->sharersOf(addr) & ~(std::uint64_t(1) << core))
+        return false;
+
+    bool dirty = false;
+    bool io = false;
+    if (LineRef ref = sharedLlc->probe(addr)) {
+        dirty = ref.line->dirty;
+        io = ref.line->io;
+        ++sharedLlc->demandMoves;
+        sharedLlc->tags().invalidate(ref);
+    } else if (cfg.prefetchFromDram) {
+        dramModel->access(mem::AccessType::Read);
+    } else {
+        return false;
+    }
+
+    installMlc(core, addr, dirty, io, true);
+    return true;
+}
+
+std::uint64_t
+MemoryHierarchy::totalMlcWritebacks() const
+{
+    std::uint64_t n = 0;
+    for (const auto &m : mlcs)
+        n += m->writebacks.get() + m->cleanEvictions.get();
+    return n;
+}
+
+std::uint64_t
+MemoryHierarchy::totalMlcPcieInvals() const
+{
+    std::uint64_t n = 0;
+    for (const auto &m : mlcs)
+        n += m->pcieInvals.get();
+    return n;
+}
+
+} // namespace cache

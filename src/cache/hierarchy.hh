@@ -1,0 +1,224 @@
+/**
+ * @file
+ * The memory hierarchy facade.
+ *
+ * MemoryHierarchy wires per-core L1D+MLC private caches, the shared
+ * non-inclusive LLC with DDIO ways, the Excl-MLC directory, and the
+ * DRAM model, and implements the exact data-movement flows of paper
+ * Figs. 1 and 2:
+ *
+ *  - CPU demand fills move data *out* of the LLC into the MLC (tag to
+ *    directory), making the LLC a victim cache.
+ *  - MLC evictions allocate into any LLC way (DMA bloating).
+ *  - Inbound PCIe writes invalidate MLC copies, update LLC lines in
+ *    place, or write-allocate into the DDIO ways (cases P1..P5).
+ *  - Outbound PCIe reads pull dirty MLC copies back into the LLC.
+ *
+ * plus the IDIO extensions: MLC prefetch fills, direct-DRAM DMA writes,
+ * and the self-invalidate (drop-without-writeback) instruction.
+ *
+ * The model is state-accurate and latency-annotated: every operation
+ * updates cache state immediately and returns the latency the requester
+ * should charge. Event-driven components (cores, NIC, prefetcher) pace
+ * themselves with those latencies.
+ */
+
+#ifndef IDIO_CACHE_HIERARCHY_HH
+#define IDIO_CACHE_HIERARCHY_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/config.hh"
+#include "cache/directory.hh"
+#include "cache/llc.hh"
+#include "cache/private_cache.hh"
+#include "mem/access.hh"
+#include "mem/dram.hh"
+#include "sim/sim_object.hh"
+
+namespace cache
+{
+
+/**
+ * Facade over the full cache/memory hierarchy of one simulated server.
+ */
+class MemoryHierarchy : public sim::SimObject
+{
+    stats::StatGroup statGroup;
+
+  public:
+    /** Invoked whenever an MLC eviction allocates into the LLC. */
+    using MlcWbObserver = std::function<void(sim::CoreId)>;
+
+    /**
+     * Invoked whenever a prefetched MLC line retires: its first
+     * demand hit, or its departure from the MLC (eviction,
+     * invalidation, migration). Lets a CPU-paced prefetcher track
+     * outstanding prefetched lines.
+     */
+    using PrefetchRetireObserver = std::function<void(sim::CoreId)>;
+
+    MemoryHierarchy(sim::Simulation &simulation, const std::string &name,
+                    const HierarchyConfig &config);
+
+    /** @{ CPU-side operations (one cacheline each). */
+    mem::AccessResult coreRead(sim::CoreId core, sim::Addr addr);
+    mem::AccessResult coreWrite(sim::CoreId core, sim::Addr addr);
+
+    /**
+     * Self-invalidate instruction (paper Sec. IV-A / V-D): drop the
+     * line from the core's private caches (and, per configuration, the
+     * LLC) without any writeback.
+     *
+     * @return false when the page is not marked Invalidatable (the
+     *         modelled privacy fault; the drop is suppressed).
+     */
+    bool coreInvalidate(sim::CoreId core, sim::Addr addr);
+
+    /**
+     * Invalidate every cacheline of [addr, addr+bytes); the multi-line
+     * maintenance operation IDIO adds for DMA buffers.
+     *
+     * @return number of lines actually dropped from the MLC.
+     */
+    std::uint64_t invalidateRange(sim::CoreId core, sim::Addr addr,
+                                  std::uint64_t bytes);
+    /** @} */
+
+    /** @{ Device-side operations (one cacheline each). */
+
+    /**
+     * Full-cacheline inbound DMA write on the DDIO path (Fig. 1
+     * ingress, cases P1..P5).
+     */
+    void pcieWrite(sim::Addr addr);
+
+    /**
+     * Inbound DMA write with DCA disabled (IDIO M3): stale cached
+     * copies are dropped and the data goes straight to DRAM.
+     */
+    void pcieWriteDirectDram(sim::Addr addr);
+
+    /** Outbound DMA read (Fig. 1 egress). @return service latency. */
+    sim::Tick pcieRead(sim::Addr addr);
+    /** @} */
+
+    /**
+     * IDIO prefetch hint: move the line into @p core 's MLC (from LLC,
+     * or DRAM when permitted).
+     *
+     * @return true when a fill actually happened.
+     */
+    bool mlcPrefetch(sim::CoreId core, sim::Addr addr);
+
+    /** Register the IDIO controller's MLC-writeback telemetry hook. */
+    void setMlcWbObserver(MlcWbObserver obs) { mlcWbObserver = obs; }
+
+    /** Register the prefetch-retire hook (CPU-paced prefetcher). */
+    void
+    setPrefetchRetireObserver(PrefetchRetireObserver obs)
+    {
+        prefetchRetireObserver = obs;
+    }
+
+    /** @{ Component access. */
+    PrivateCache &l1(sim::CoreId core) { return *l1s[core]; }
+    PrivateCache &mlcOf(sim::CoreId core) { return *mlcs[core]; }
+    NonInclusiveLlc &llc() { return *sharedLlc; }
+    MlcDirectory &directory() { return *dir; }
+    mem::DramModel &dram() { return *dramModel; }
+    const HierarchyConfig &config() const { return cfg; }
+    std::uint32_t numCores() const { return cfg.numCores; }
+    /** @} */
+
+    /** @{ Aggregates used by the figure samplers. */
+
+    /** MLC->LLC eviction transactions (dirty + clean), all cores. */
+    std::uint64_t totalMlcWritebacks() const;
+
+    /** MLC invalidations caused by inbound PCIe writes, all cores. */
+    std::uint64_t totalMlcPcieInvals() const;
+
+    /** LLC->DRAM dirty evictions. */
+    std::uint64_t llcWritebacks() const
+    {
+        return sharedLlc->writebacks.get();
+    }
+    /** @} */
+
+    /** @{ Hierarchy-level counters. */
+    stats::Counter directDramWrites;
+    stats::Counter selfInvalFaults;
+    stats::Counter pcieReads;
+    stats::Counter pcieWrites;
+    stats::Counter coherenceMigrations;
+    /** @} */
+
+  private:
+    /** Install a line into a core's MLC, handling victim + directory. */
+    void installMlc(sim::CoreId core, sim::Addr addr, bool dirty,
+                    bool io, bool isPrefetch);
+
+    /** Handle an MLC victim: merge L1, count, insert into LLC. */
+    void evictMlcVictim(sim::CoreId core, CacheLine victim);
+
+    /** Insert an MLC victim (or PCIe-read writeback) into the LLC. */
+    void llcInsertVictim(sim::Addr addr, bool dirty, bool io,
+                         WayMask allocMask);
+
+    /** Evict a valid LLC line (DRAM write when dirty). */
+    void evictLlcLine(const CacheLine &line);
+
+    /** Fill @p core 's L1 with @p addr (must already be in MLC). */
+    void l1Fill(sim::CoreId core, sim::Addr addr, bool makeDirty);
+
+    /** Drop @p addr from @p core 's L1, merging dirtiness into MLC. */
+    void dropFromL1(sim::CoreId core, sim::Addr addr,
+                    bool *dirtyOut = nullptr);
+
+    /** Invalidate all MLC/L1 copies (inbound DMA overwrite). */
+    void invalidateMlcCopies(sim::Addr addr);
+
+    /**
+     * Migratory coherence: pull the line out of any *other* core's
+     * private caches (merging dirtiness) so a single owner remains.
+     *
+     * @return true when a copy was migrated; outputs its state.
+     */
+    bool migrateFromPeers(sim::CoreId requester, sim::Addr addr,
+                          bool *dirtyOut, bool *ioOut);
+
+    /** Back-invalidate sharers of a directory capacity victim. */
+    void handleDirectoryVictim(const DirectoryVictim &victim);
+
+    mem::AccessResult coreAccess(sim::CoreId core, sim::Addr addr,
+                                 mem::AccessType type);
+
+    /** Fire the retire hook when a departing line was prefetched. */
+    void
+    notePrefetchGone(sim::CoreId core, const CacheLine &line)
+    {
+        if (line.prefetched && prefetchRetireObserver)
+            prefetchRetireObserver(core);
+    }
+
+    HierarchyConfig cfg;
+    sim::Tick l1Lat;
+    sim::Tick mlcLat;
+    sim::Tick llcLat;
+
+    std::vector<std::unique_ptr<PrivateCache>> l1s;
+    std::vector<std::unique_ptr<PrivateCache>> mlcs;
+    std::unique_ptr<NonInclusiveLlc> sharedLlc;
+    std::unique_ptr<MlcDirectory> dir;
+    std::unique_ptr<mem::DramModel> dramModel;
+
+    MlcWbObserver mlcWbObserver;
+    PrefetchRetireObserver prefetchRetireObserver;
+};
+
+} // namespace cache
+
+#endif // IDIO_CACHE_HIERARCHY_HH

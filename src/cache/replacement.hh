@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Cache replacement policies.
+ *
+ * Policies operate per set and support *masked* victim selection: the
+ * LLC restricts DDIO write-allocations to the DDIO ways and (for the
+ * Fig. 4 `*_1way` experiments) CPU allocations to a way-partition mask,
+ * so a victim must be selected among an arbitrary subset of ways.
+ */
+
+#ifndef IDIO_CACHE_REPLACEMENT_HH
+#define IDIO_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace cache
+{
+
+/** Bitmask over the ways of one set (bit i = way i eligible). */
+using WayMask = std::uint64_t;
+
+/** Mask with the low @p n bits set. */
+constexpr WayMask
+lowWays(std::uint32_t n)
+{
+    return n >= 64 ? ~WayMask(0) : ((WayMask(1) << n) - 1);
+}
+
+/**
+ * Abstract replacement policy.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /**
+     * Size the internal state.
+     * @param numSets Sets in the array.
+     * @param assoc Ways per set.
+     */
+    virtual void init(std::uint32_t numSets, std::uint32_t assoc) = 0;
+
+    /** Record a use (hit or fill) of (set, way). */
+    virtual void touch(std::uint32_t set, std::uint32_t way) = 0;
+
+    /** Record a brand-new fill of (set, way). */
+    virtual void
+    fill(std::uint32_t set, std::uint32_t way)
+    {
+        touch(set, way);
+    }
+
+    /**
+     * Choose a victim among the ways selected by @p candidates.
+     * @p candidates is never 0.
+     */
+    virtual std::uint32_t victim(std::uint32_t set,
+                                 WayMask candidates) = 0;
+
+    /** Policy name for configuration echo. */
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Least-recently-used via per-way 64-bit use stamps.
+ */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    void init(std::uint32_t numSets, std::uint32_t assoc) override;
+    void touch(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint32_t set, WayMask candidates) override;
+    std::string name() const override { return "lru"; }
+
+  private:
+    std::uint32_t assoc = 0;
+    std::uint64_t clock = 0;
+    std::vector<std::uint64_t> stamps; // numSets * assoc
+};
+
+/**
+ * Uniform random victim among candidates (deterministic seeded RNG).
+ */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(std::uint64_t seed = 7) : rng(seed) {}
+
+    void init(std::uint32_t numSets, std::uint32_t assoc) override;
+    void touch(std::uint32_t, std::uint32_t) override {}
+    std::uint32_t victim(std::uint32_t set, WayMask candidates) override;
+    std::string name() const override { return "random"; }
+
+  private:
+    sim::Rng rng;
+    std::uint32_t assoc = 0;
+};
+
+/**
+ * Static re-reference interval prediction (SRRIP-HP, 2-bit RRPV).
+ * Useful as an ablation against LRU in the LLC; DMA-bloating behaviour
+ * is replacement-policy independent and the benches default to LRU.
+ */
+class SrripPolicy : public ReplacementPolicy
+{
+  public:
+    explicit SrripPolicy(std::uint8_t bits = 2) : maxRrpv((1u << bits) - 1)
+    {
+    }
+
+    void init(std::uint32_t numSets, std::uint32_t assoc) override;
+    void touch(std::uint32_t set, std::uint32_t way) override;
+    void fill(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victim(std::uint32_t set, WayMask candidates) override;
+    std::string name() const override { return "srrip"; }
+
+  private:
+    std::uint32_t maxRrpv;
+    std::uint32_t assoc = 0;
+    std::vector<std::uint8_t> rrpv; // numSets * assoc
+};
+
+/** Factory from a policy name ("lru", "random", "srrip"). */
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(const std::string &name, std::uint64_t seed = 7);
+
+} // namespace cache
+
+#endif // IDIO_CACHE_REPLACEMENT_HH

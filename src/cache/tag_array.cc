@@ -1,0 +1,145 @@
+/**
+ * @file
+ * TagArray implementation.
+ */
+
+#include "tag_array.hh"
+
+namespace cache
+{
+
+namespace
+{
+
+std::uint32_t
+setsFromSize(std::uint64_t sizeBytes, std::uint32_t assoc)
+{
+    if (assoc == 0 || assoc > 64)
+        sim::fatal("cache associativity %u out of range [1, 64]", assoc);
+    const std::uint64_t lines = sizeBytes / mem::lineSize;
+    if (lines == 0 || lines % assoc != 0) {
+        sim::fatal("cache size %llu not divisible into %u ways of "
+                   "64B lines",
+                   (unsigned long long)sizeBytes, assoc);
+    }
+    return static_cast<std::uint32_t>(lines / assoc);
+}
+
+} // anonymous namespace
+
+TagArray::TagArray(std::uint64_t sizeBytes, std::uint32_t assoc,
+                   std::unique_ptr<ReplacementPolicy> policy)
+    : TagArray(setsFromSize(sizeBytes, assoc), assoc, std::move(policy),
+               0)
+{
+}
+
+TagArray::TagArray(std::uint32_t numSets, std::uint32_t assoc,
+                   std::unique_ptr<ReplacementPolicy> pol, int)
+    : nSets(numSets), nWays(assoc), policy(std::move(pol)),
+      lines(std::size_t(numSets) * assoc)
+{
+    policy->init(nSets, nWays);
+}
+
+TagArray
+TagArray::withSets(std::uint32_t numSets, std::uint32_t assoc,
+                   std::unique_ptr<ReplacementPolicy> policy)
+{
+    return TagArray(numSets, assoc, std::move(policy), 0);
+}
+
+LineRef
+TagArray::lookup(sim::Addr addr)
+{
+    addr = mem::lineAlign(addr);
+    const std::uint32_t set = setIndex(addr);
+    for (std::uint32_t w = 0; w < nWays; ++w) {
+        CacheLine &l = lineAt(set, w);
+        if (l.valid && l.addr == addr)
+            return LineRef{set, w, &l};
+    }
+    return LineRef{set, 0, nullptr};
+}
+
+const CacheLine *
+TagArray::peek(sim::Addr addr) const
+{
+    addr = mem::lineAlign(addr);
+    const std::uint32_t set = setIndex(addr);
+    for (std::uint32_t w = 0; w < nWays; ++w) {
+        const CacheLine &l = lineAt(set, w);
+        if (l.valid && l.addr == addr)
+            return &l;
+    }
+    return nullptr;
+}
+
+LineRef
+TagArray::findFillSlot(sim::Addr addr, WayMask candidates)
+{
+    addr = mem::lineAlign(addr);
+    const std::uint32_t set = setIndex(addr);
+    candidates &= lowWays(nWays);
+    SIM_ASSERT(candidates != 0, "no candidate ways for fill");
+
+    for (std::uint32_t w = 0; w < nWays; ++w) {
+        if (!(candidates & (WayMask(1) << w)))
+            continue;
+        CacheLine &l = lineAt(set, w);
+        if (!l.valid)
+            return LineRef{set, w, &l};
+    }
+    const std::uint32_t victim = policy->victim(set, candidates);
+    return LineRef{set, victim, &lineAt(set, victim)};
+}
+
+CacheLine &
+TagArray::fill(const LineRef &slot, sim::Addr addr, bool dirty, bool io)
+{
+    CacheLine &l = *slot.line;
+    l.addr = mem::lineAlign(addr);
+    l.valid = true;
+    l.dirty = dirty;
+    l.io = io;
+    l.prefetched = false;
+    l.sharers = 0;
+    policy->fill(slot.set, slot.way);
+    return l;
+}
+
+void
+TagArray::invalidate(const LineRef &slot)
+{
+    CacheLine &l = *slot.line;
+    l.valid = false;
+    l.dirty = false;
+    l.io = false;
+    l.prefetched = false;
+    l.sharers = 0;
+}
+
+std::uint64_t
+TagArray::countValid(
+    const std::function<bool(const CacheLine &, std::uint32_t)> &pred)
+    const
+{
+    std::uint64_t n = 0;
+    for (std::uint32_t s = 0; s < nSets; ++s) {
+        for (std::uint32_t w = 0; w < nWays; ++w) {
+            const CacheLine &l = lineAt(s, w);
+            if (l.valid && (!pred || pred(l, w)))
+                ++n;
+        }
+    }
+    return n;
+}
+
+void
+TagArray::clear()
+{
+    for (auto &l : lines)
+        l = CacheLine{};
+}
+
+} // namespace cache

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Generic set-associative tag array.
+ *
+ * TagArray is the storage substrate shared by the private caches, the
+ * non-inclusive LLC, and the Excl-MLC directory. It stores one
+ * CacheLine per (set, way), performs lookups by cacheline address, and
+ * delegates victim choice to a ReplacementPolicy with masked candidate
+ * sets.
+ */
+
+#ifndef IDIO_CACHE_TAG_ARRAY_HH
+#define IDIO_CACHE_TAG_ARRAY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "mem/addr.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace cache
+{
+
+/**
+ * State of one cacheline slot.
+ *
+ * `io` is a sticky provenance bit: set when the line was produced by a
+ * DMA write and carried along as the line migrates between levels. It
+ * feeds the DMA-bloating occupancy statistics (paper Sec. III, Obs. 3).
+ */
+struct CacheLine
+{
+    sim::Addr addr = 0; ///< cacheline-aligned address
+    bool valid = false;
+    bool dirty = false;
+    bool io = false;
+
+    /**
+     * Set on MLC lines installed by an IDIO prefetch and cleared on
+     * the first demand hit; feeds the CPU-paced prefetcher's
+     * outstanding-line accounting.
+     */
+    bool prefetched = false;
+
+    /** Presence bit-vector; used only by the MLC directory. */
+    std::uint64_t sharers = 0;
+};
+
+/** Location of a line inside a TagArray. */
+struct LineRef
+{
+    std::uint32_t set = 0;
+    std::uint32_t way = 0;
+    CacheLine *line = nullptr;
+
+    explicit operator bool() const { return line != nullptr; }
+};
+
+/**
+ * Set-associative array of CacheLines.
+ */
+class TagArray
+{
+  public:
+    /**
+     * @param sizeBytes Total capacity (must be numSets*assoc*64).
+     * @param assoc Ways per set.
+     * @param policy Replacement policy (owned).
+     */
+    TagArray(std::uint64_t sizeBytes, std::uint32_t assoc,
+             std::unique_ptr<ReplacementPolicy> policy);
+
+    /** Construct with an explicit set count instead of a byte size. */
+    static TagArray withSets(std::uint32_t numSets, std::uint32_t assoc,
+                             std::unique_ptr<ReplacementPolicy> policy);
+
+    std::uint32_t numSets() const { return nSets; }
+    std::uint32_t assoc() const { return nWays; }
+    std::uint64_t capacityBytes() const
+    {
+        return std::uint64_t(nSets) * nWays * mem::lineSize;
+    }
+
+    /** Set index for an address. */
+    std::uint32_t
+    setIndex(sim::Addr addr) const
+    {
+        return static_cast<std::uint32_t>(mem::lineNumber(addr) %
+                                          nSets);
+    }
+
+    /** Find a valid line matching @p addr; LineRef is null on miss. */
+    LineRef lookup(sim::Addr addr);
+
+    /** const lookup. */
+    const CacheLine *peek(sim::Addr addr) const;
+
+    /** Record a use of an existing line. */
+    void
+    touch(const LineRef &ref)
+    {
+        policy->touch(ref.set, ref.way);
+    }
+
+    /**
+     * Choose a slot for a new fill of @p addr among @p candidates:
+     * an invalid candidate way if one exists, else the policy victim.
+     * The returned slot may hold a valid line the caller must evict.
+     */
+    LineRef
+    findFillSlot(sim::Addr addr, WayMask candidates = ~WayMask(0));
+
+    /**
+     * Install @p addr into @p slot (which the caller already emptied or
+     * chose to overwrite) and inform the policy.
+     */
+    CacheLine &fill(const LineRef &slot, sim::Addr addr, bool dirty,
+                    bool io);
+
+    /** Invalidate the line in @p slot. */
+    void invalidate(const LineRef &slot);
+
+    /** Direct slot access. */
+    CacheLine &
+    lineAt(std::uint32_t set, std::uint32_t way)
+    {
+        return lines[std::size_t(set) * nWays + way];
+    }
+
+    const CacheLine &
+    lineAt(std::uint32_t set, std::uint32_t way) const
+    {
+        return lines[std::size_t(set) * nWays + way];
+    }
+
+    /** Count valid lines satisfying @p pred (pred may be null = all). */
+    std::uint64_t
+    countValid(const std::function<bool(const CacheLine &,
+                                        std::uint32_t way)> &pred = {})
+        const;
+
+    /** Invalidate every line. */
+    void clear();
+
+    /** The replacement policy (for tests). */
+    ReplacementPolicy &replacementPolicy() { return *policy; }
+
+  private:
+    TagArray(std::uint32_t numSets, std::uint32_t assoc,
+             std::unique_ptr<ReplacementPolicy> policy, int);
+
+    std::uint32_t nSets;
+    std::uint32_t nWays;
+    std::unique_ptr<ReplacementPolicy> policy;
+    std::vector<CacheLine> lines;
+};
+
+} // namespace cache
+
+#endif // IDIO_CACHE_TAG_ARRAY_HH

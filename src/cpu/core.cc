@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Core implementation.
+ */
+
+#include "core.hh"
+
+#include "sim/simulation.hh"
+
+namespace cpu
+{
+
+Core::Core(sim::Simulation &simulation, const std::string &name,
+           sim::CoreId id, cache::MemoryHierarchy &hierarchy)
+    : sim::SimObject(simulation, name),
+      statGroup(simulation.statsRegistry(), name),
+      reads(statGroup, "reads", "cacheline reads issued"),
+      writes(statGroup, "writes", "cacheline writes issued"),
+      invalidations(statGroup, "invalidations",
+                    "self-invalidate lines issued"),
+      hitsL1(statGroup, "hitsL1", "accesses served by L1"),
+      hitsMlc(statGroup, "hitsMlc", "accesses served by MLC"),
+      hitsLlc(statGroup, "hitsLlc", "accesses served by LLC"),
+      hitsDram(statGroup, "hitsDram", "accesses served by DRAM"),
+      steps(statGroup, "steps", "workload steps executed"),
+      busyTicks(statGroup, "busyTicks",
+                "ticks spent inside workload steps"),
+      coreId(id), hier(hierarchy), stepEvent(*this),
+      invalLineCost(hierarchy.config().cyclesToTicks(1))
+{
+}
+
+Core::~Core()
+{
+    halt();
+}
+
+sim::Tick
+Core::read(sim::Addr addr, std::uint64_t bytes)
+{
+    sim::Tick lat = 0;
+    const sim::Addr first = mem::lineAlign(addr);
+    const sim::Addr last = mem::lineAlign(addr + bytes - 1);
+    for (sim::Addr a = first; a <= last; a += mem::lineSize) {
+        const mem::AccessResult r = hier.coreRead(coreId, a);
+        lat += r.latency;
+        ++reads;
+        countLevel(r.level);
+    }
+    return lat;
+}
+
+sim::Tick
+Core::write(sim::Addr addr, std::uint64_t bytes)
+{
+    sim::Tick lat = 0;
+    const sim::Addr first = mem::lineAlign(addr);
+    const sim::Addr last = mem::lineAlign(addr + bytes - 1);
+    for (sim::Addr a = first; a <= last; a += mem::lineSize) {
+        const mem::AccessResult r = hier.coreWrite(coreId, a);
+        lat += r.latency;
+        ++writes;
+        countLevel(r.level);
+    }
+    return lat;
+}
+
+sim::Tick
+Core::invalidate(sim::Addr addr, std::uint64_t bytes)
+{
+    const std::uint64_t lines = mem::linesSpanned(addr, bytes);
+    hier.invalidateRange(coreId, addr, bytes);
+    invalidations += lines;
+    return lines * invalLineCost;
+}
+
+void
+Core::run(Workload &wl, sim::Tick firstDelay)
+{
+    workload = &wl;
+    if (!stepEvent.scheduled())
+        eventq().scheduleIn(&stepEvent, firstDelay);
+}
+
+void
+Core::halt()
+{
+    workload = nullptr;
+    if (stepEvent.scheduled())
+        eventq().deschedule(&stepEvent);
+}
+
+void
+Core::doStep()
+{
+    if (!workload)
+        return;
+    const sim::Tick delay = workload->step(*this);
+    SIM_ASSERT(delay > 0, "workload step returned zero delay");
+    ++steps;
+    busyTicks += delay;
+    eventq().scheduleIn(&stepEvent, delay);
+}
+
+void
+Core::countLevel(mem::HitLevel level)
+{
+    switch (level) {
+      case mem::HitLevel::L1:
+        ++hitsL1;
+        break;
+      case mem::HitLevel::MLC:
+        ++hitsMlc;
+        break;
+      case mem::HitLevel::LLC:
+        ++hitsLlc;
+        break;
+      case mem::HitLevel::DRAM:
+        ++hitsDram;
+        break;
+    }
+}
+
+} // namespace cpu

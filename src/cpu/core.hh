@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Calibrated per-core timing model.
+ *
+ * The paper's results depend on *where cachelines live*, not on
+ * pipeline microarchitecture; the out-of-order core model in gem5 only
+ * sets the constant packet-consumption rate. Core therefore models a
+ * processor as a sequence of atomic workload steps: each step performs
+ * cacheline-granular memory operations against the hierarchy (paying
+ * the level-accurate latency of each access) plus explicit compute
+ * cost, and the event loop resumes the workload after the step's total
+ * latency. Calibration (see DESIGN.md) makes one core sustain ~1 Mpps
+ * of MTU-sized TouchDrop traffic, matching the paper's observed
+ * ~12 Gbps per-core capacity.
+ */
+
+#ifndef IDIO_CPU_CORE_HH
+#define IDIO_CPU_CORE_HH
+
+#include <string>
+
+#include "cache/hierarchy.hh"
+#include "sim/event_queue.hh"
+#include "sim/sim_object.hh"
+#include "stats/registry.hh"
+
+namespace cpu
+{
+
+class Core;
+
+/**
+ * A software entity scheduled on one core.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /**
+     * Perform one atomic unit of work (a poll, one packet, one batch
+     * of antagonist accesses...) using @p core 's memory interface.
+     *
+     * @return delay in ticks until the next step (>= the latency the
+     *         step incurred; must be > 0).
+     */
+    virtual sim::Tick step(Core &core) = 0;
+
+    /** Human-readable workload name. */
+    virtual std::string label() const = 0;
+};
+
+/**
+ * One physical core.
+ */
+class Core : public sim::SimObject
+{
+    stats::StatGroup statGroup;
+
+  public:
+    Core(sim::Simulation &simulation, const std::string &name,
+         sim::CoreId id, cache::MemoryHierarchy &hierarchy);
+
+    ~Core() override;
+
+    sim::CoreId id() const { return coreId; }
+
+    /** The hierarchy this core is attached to. */
+    cache::MemoryHierarchy &hierarchy() { return hier; }
+
+    /** @{ Memory interface: byte ranges expand to cacheline ops. */
+
+    /** Read @p bytes starting at @p addr; @return total latency. */
+    sim::Tick read(sim::Addr addr, std::uint64_t bytes = 1);
+
+    /** Write @p bytes starting at @p addr; @return total latency. */
+    sim::Tick write(sim::Addr addr, std::uint64_t bytes = 1);
+
+    /**
+     * Self-invalidate the lines of [addr, addr+bytes) — the IDIO
+     * multi-cacheline invalidate instruction. @return latency.
+     */
+    sim::Tick invalidate(sim::Addr addr, std::uint64_t bytes);
+    /** @} */
+
+    /** Attach a workload and begin stepping it at now() + delay. */
+    void run(Workload &workload, sim::Tick firstDelay = 0);
+
+    /** Stop stepping the current workload. */
+    void halt();
+
+    /** @{ Counters. */
+    stats::Counter reads;
+    stats::Counter writes;
+    stats::Counter invalidations;
+    stats::Counter hitsL1;
+    stats::Counter hitsMlc;
+    stats::Counter hitsLlc;
+    stats::Counter hitsDram;
+    stats::Counter steps;
+    stats::Counter busyTicks;
+    /** @} */
+
+  private:
+    class StepEvent : public sim::Event
+    {
+      public:
+        explicit StepEvent(Core &owner) : owner(owner) {}
+        void process() override { owner.doStep(); }
+        std::string name() const override
+        {
+            return owner.name() + ".step";
+        }
+
+      private:
+        Core &owner;
+    };
+
+    void doStep();
+    void countLevel(mem::HitLevel level);
+
+    sim::CoreId coreId;
+    cache::MemoryHierarchy &hier;
+    Workload *workload = nullptr;
+    StepEvent stepEvent;
+    sim::Tick invalLineCost;
+};
+
+} // namespace cpu
+
+#endif // IDIO_CPU_CORE_HH

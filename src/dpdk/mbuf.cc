@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Mempool implementation.
+ */
+
+#include "mbuf.hh"
+
+namespace dpdk
+{
+
+Mempool::Mempool(mem::PhysAllocator &alloc, std::uint32_t count,
+                 std::uint32_t bufBytes, bool invalidatable,
+                 RecycleOrder order)
+    : order(order)
+{
+    SIM_ASSERT(count > 0, "empty mempool");
+    bufs.resize(count);
+    inUse.assign(count, false);
+
+    // Metadata records are packed together (like an rte_mempool's
+    // object headers); data buffers are a separate contiguous arena.
+    const sim::Addr metaBase = alloc.allocate(
+        std::uint64_t(count) * mbufMetaBytes, mem::lineSize);
+    const sim::Addr dataBase =
+        invalidatable
+            ? alloc.allocateInvalidatable(std::uint64_t(count) *
+                                          bufBytes)
+            : alloc.allocate(std::uint64_t(count) * bufBytes,
+                             mem::pageSize);
+    freeListBase =
+        alloc.allocate(std::uint64_t(count) * 8, mem::lineSize);
+
+    for (std::uint32_t i = 0; i < count; ++i) {
+        Mbuf &m = bufs[i];
+        m.idx = i;
+        m.metaAddr = metaBase + std::uint64_t(i) * mbufMetaBytes;
+        m.dataAddr = dataBase + std::uint64_t(i) * bufBytes;
+        m.bufBytes = bufBytes;
+    }
+    // Index 0 is handed out first under either recycling order.
+    if (order == RecycleOrder::Lifo) {
+        for (std::uint32_t i = count; i-- > 0;)
+            freeList.push_back(i);
+    } else {
+        for (std::uint32_t i = 0; i < count; ++i)
+            freeList.push_back(i);
+    }
+}
+
+std::uint32_t
+Mempool::alloc()
+{
+    if (freeList.empty()) {
+        ++allocFailures;
+        return invalidMbuf;
+    }
+    std::uint32_t idx;
+    if (order == RecycleOrder::Lifo) {
+        idx = freeList.back();
+        freeList.pop_back();
+    } else {
+        idx = freeList.front();
+        freeList.pop_front();
+    }
+    inUse[idx] = true;
+    ++allocCount;
+    return idx;
+}
+
+void
+Mempool::free(std::uint32_t idx)
+{
+    SIM_ASSERT(idx < bufs.size(), "freeing an invalid mbuf index");
+    SIM_ASSERT(inUse[idx], "double free of an mbuf");
+    inUse[idx] = false;
+    freeList.push_back(idx);
+    ++freeCount;
+}
+
+sim::Addr
+Mempool::freeListSlotAddr() const
+{
+    const std::size_t pos = freeList.size();
+    return freeListBase + std::uint64_t(pos) * 8;
+}
+
+} // namespace dpdk

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * RxQueue implementation.
+ */
+
+#include "rx_queue.hh"
+
+namespace dpdk
+{
+
+RxQueue::RxQueue(cpu::Core &core, nic::Nic &port, Mempool &pool,
+                 const PmdConfig &config)
+    : core(core), nicPort(port), pool(pool), cfg(config),
+      tailUpdateCost(sim::nsToTicks(config.tailUpdateNs))
+{
+}
+
+void
+RxQueue::initialArm()
+{
+    nic::RxRing &ring = nicPort.rxRing();
+    for (std::uint32_t i = 0; i < ring.size(); ++i) {
+        const std::uint32_t idx = pool.alloc();
+        if (idx == invalidMbuf)
+            sim::fatal("mempool too small to arm the RX ring");
+        ring.swArm(i, pool.at(idx).dataAddr, idx);
+    }
+    armNext = 0;
+}
+
+PollResult
+RxQueue::pollBurst()
+{
+    nic::RxRing &ring = nicPort.rxRing();
+    PollResult res;
+
+    if (!ring.swReady()) {
+        // Empty poll: the PMD still reads the head descriptor's first
+        // cacheline to check DD.
+        res.latency = core.read(ring.descAddr(ring.swHead()), 1);
+        return res;
+    }
+
+    while (res.mbufs.size() < cfg.burst && ring.swReady()) {
+        const std::uint32_t descIdx = ring.swConsume();
+        const nic::RxSlot &slot = ring.slot(descIdx);
+
+        // Parse the full descriptor and fill in the mbuf metadata.
+        res.latency += core.read(ring.descAddr(descIdx),
+                                 nic::rxDescBytes);
+        Mbuf &m = pool.at(slot.mbufIdx);
+        m.pktBytes = slot.pkt.frameBytes;
+        m.pkt = slot.pkt;
+        res.latency += core.write(m.metaAddr, mbufMetaBytes);
+
+        res.mbufs.push_back(slot.mbufIdx);
+        ++toRefill;
+    }
+    return res;
+}
+
+sim::Tick
+RxQueue::refill()
+{
+    nic::RxRing &ring = nicPort.rxRing();
+    sim::Tick lat = 0;
+    bool armedAny = false;
+
+    while (toRefill > 0) {
+        const std::uint32_t idx = pool.alloc();
+        if (idx == invalidMbuf)
+            break; // buffers still in flight; retry next batch
+        lat += core.read(pool.freeListSlotAddr(), 1);
+        ring.swArm(armNext, pool.at(idx).dataAddr, idx);
+        lat += core.write(ring.descAddr(armNext), nic::rxDescBytes);
+        armNext = (armNext + 1) % ring.size();
+        --toRefill;
+        armedAny = true;
+    }
+
+    if (armedAny)
+        lat += tailUpdateCost; // posted MMIO tail write
+    return lat;
+}
+
+} // namespace dpdk

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Traffic generator implementations.
+ */
+
+#include "traffic.hh"
+
+#include <algorithm>
+
+#include "sim/simulation.hh"
+
+namespace gen
+{
+
+namespace
+{
+
+sim::Tick
+interPacketGap(std::uint32_t frameBytes, double rateGbps)
+{
+    // Time to serialise one frame at the given line rate.
+    const double ns =
+        static_cast<double>(frameBytes) * 8.0 / rateGbps;
+    return std::max<sim::Tick>(1, sim::nsToTicks(ns));
+}
+
+} // anonymous namespace
+
+TrafficSource::TrafficSource(sim::Simulation &simulation,
+                             const std::string &name, nic::Nic &nicPort,
+                             const TrafficConfig &config,
+                             bool needsFlows)
+    : sim::SimObject(simulation, name),
+      statGroup(simulation.statsRegistry(), name),
+      packetsSent(statGroup, "packetsSent", "packets generated"),
+      bytesSent(statGroup, "bytesSent", "bytes generated"),
+      port(nicPort), cfg(config)
+{
+    if (needsFlows && cfg.flows.empty())
+        sim::fatal("traffic source '%s' has no flows", name.c_str());
+}
+
+TrafficSource::~TrafficSource() = default;
+
+void
+TrafficSource::emitPacket()
+{
+    const FlowSpec &spec = cfg.flows[nextFlow];
+    nextFlow = (nextFlow + 1) % cfg.flows.size();
+
+    net::Packet pkt;
+    pkt.flow = spec.tuple;
+    pkt.dscp = spec.dscp;
+    pkt.frameBytes = cfg.frameBytes;
+    pkt.seq = seq++;
+    pkt.genTime = now();
+    ++packetsSent;
+    bytesSent += pkt.frameBytes;
+    port.deliver(pkt);
+}
+
+SteadyTrafficGen::SteadyTrafficGen(sim::Simulation &simulation,
+                                   const std::string &name,
+                                   nic::Nic &nicPort,
+                                   const TrafficConfig &config,
+                                   double rateGbps)
+    : TrafficSource(simulation, name, nicPort, config),
+      interPacket(interPacketGap(config.frameBytes, rateGbps))
+{
+}
+
+void
+SteadyTrafficGen::start()
+{
+    eventq().scheduleIn(interPacket, [this] { tick(); });
+}
+
+void
+SteadyTrafficGen::tick()
+{
+    if (stopped())
+        return;
+    emitPacket();
+    eventq().scheduleIn(interPacket, [this] { tick(); });
+}
+
+BurstyTrafficGen::BurstyTrafficGen(sim::Simulation &simulation,
+                                   const std::string &name,
+                                   nic::Nic &nicPort,
+                                   const TrafficConfig &config,
+                                   const BurstParams &params)
+    : TrafficSource(simulation, name, nicPort, config), burst(params),
+      interPacket(
+          interPacketGap(config.frameBytes, params.burstRateGbps))
+{
+}
+
+sim::Tick
+BurstyTrafficGen::burstLength() const
+{
+    return interPacket * burst.burstPackets;
+}
+
+void
+BurstyTrafficGen::start()
+{
+    inBurstRemaining = burst.burstPackets;
+    nextBurstStart = now() + burst.burstPeriod;
+    eventq().scheduleIn(interPacket, [this] { tick(); });
+}
+
+void
+BurstyTrafficGen::tick()
+{
+    if (stopped())
+        return;
+
+    emitPacket();
+    if (--inBurstRemaining > 0) {
+        eventq().scheduleIn(interPacket, [this] { tick(); });
+        return;
+    }
+
+    // Burst over: sleep until the next period.
+    inBurstRemaining = burst.burstPackets;
+    const sim::Tick startAt = std::max(nextBurstStart, now());
+    nextBurstStart = startAt + burst.burstPeriod;
+    eventq().schedule(startAt, [this] { tick(); });
+}
+
+PoissonTrafficGen::PoissonTrafficGen(sim::Simulation &simulation,
+                                     const std::string &name,
+                                     nic::Nic &nicPort,
+                                     const TrafficConfig &config,
+                                     double rateGbps)
+    : TrafficSource(simulation, name, nicPort, config),
+      meanGapTicks(static_cast<double>(
+          interPacketGap(config.frameBytes, rateGbps))),
+      rng(simulation.deriveRng(name).next())
+{
+}
+
+void
+PoissonTrafficGen::start()
+{
+    eventq().scheduleIn(
+        std::max<sim::Tick>(
+            1, static_cast<sim::Tick>(rng.exponential(meanGapTicks))),
+        [this] { tick(); });
+}
+
+void
+PoissonTrafficGen::tick()
+{
+    if (stopped())
+        return;
+    emitPacket();
+    start();
+}
+
+TraceTrafficGen::TraceTrafficGen(sim::Simulation &simulation,
+                                 const std::string &name,
+                                 nic::Nic &nicPort,
+                                 std::vector<net::TraceRecord> traceIn,
+                                 bool loop, sim::Tick loopGap)
+    : TrafficSource(simulation, name, nicPort, TrafficConfig{},
+                    /*needsFlows=*/false),
+      trace(std::move(traceIn)), loop(loop), loopGap(loopGap)
+{
+    if (trace.empty())
+        sim::fatal("trace source '%s' has an empty trace",
+                   name.c_str());
+    // Normalise to offsets from the first record.
+    const sim::Tick t0 = trace.front().when;
+    for (auto &r : trace)
+        r.when -= t0;
+}
+
+void
+TraceTrafficGen::start()
+{
+    epoch = now();
+    next = 0;
+    eventq().schedule(epoch + trace.front().when,
+                      [this] { deliverNext(); });
+}
+
+void
+TraceTrafficGen::deliverNext()
+{
+    if (stopped())
+        return;
+
+    net::Packet pkt = trace[next].pkt;
+    pkt.genTime = now();
+    ++packetsSent;
+    bytesSent += pkt.frameBytes;
+    port.deliver(pkt);
+
+    if (++next >= trace.size()) {
+        if (!loop)
+            return;
+        next = 0;
+        epoch = now() + loopGap;
+    }
+    eventq().schedule(epoch + trace[next].when,
+                      [this] { deliverNext(); });
+}
+
+std::vector<FlowSpec>
+makeFlows(std::uint32_t n, std::uint32_t baseDstPort, std::uint8_t dscp)
+{
+    std::vector<FlowSpec> flows;
+    flows.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        FlowSpec f;
+        f.tuple.srcIp = 0x0a000001;        // 10.0.0.1
+        f.tuple.dstIp = 0x0a000002;        // 10.0.0.2
+        f.tuple.srcPort =
+            static_cast<std::uint16_t>(40000 + i);
+        f.tuple.dstPort =
+            static_cast<std::uint16_t>(baseDstPort + i);
+        f.tuple.proto = net::IpProto::Udp;
+        f.dscp = dscp;
+        flows.push_back(f);
+    }
+    return flows;
+}
+
+} // namespace gen

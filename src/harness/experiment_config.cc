@@ -1,0 +1,56 @@
+/**
+ * @file
+ * ExperimentConfig helpers.
+ */
+
+#include "experiment_config.hh"
+
+#include <cstdio>
+
+namespace harness
+{
+
+const char *
+nfKindName(NfKind kind)
+{
+    switch (kind) {
+      case NfKind::TouchDrop:
+        return "TouchDrop";
+      case NfKind::CopyTouchDrop:
+        return "CopyTouchDrop";
+      case NfKind::L2Fwd:
+        return "L2Fwd";
+      case NfKind::L2FwdDropPayload:
+        return "L2FwdDropPayload";
+    }
+    return "?";
+}
+
+std::string
+ExperimentConfig::summary() const
+{
+    const char *trafficName = "external";
+    switch (traffic) {
+      case TrafficKind::Steady:
+        trafficName = "steady";
+        break;
+      case TrafficKind::Bursty:
+        trafficName = "bursty";
+        break;
+      case TrafficKind::Poisson:
+        trafficName = "poisson";
+        break;
+      case TrafficKind::None:
+        break;
+    }
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%ux %s, policy=%s, ring=%u, pkt=%uB, %s @ %.0f Gbps%s",
+                  numNfs, nfKindName(nfKind),
+                  idio::policyName(idio.policy), nic.ringSize,
+                  frameBytes, trafficName, rateGbps,
+                  withAntagonist ? ", +LLCAntagonist" : "");
+    return buf;
+}
+
+} // namespace harness

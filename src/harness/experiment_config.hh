@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Whole-experiment configuration (paper Table I + Sec. VI).
+ *
+ * ExperimentConfig aggregates every knob of one simulated run: the
+ * cache hierarchy, the IDIO policy, the NIC/ring geometry, the
+ * workload layout (which NFs on which cores, optional LLCAntagonist),
+ * and the traffic pattern. The defaults reproduce the paper's
+ * methodology: two TouchDrop instances, 1024-entry rings, 1514-byte
+ * packets, 10 ms burst period, burst length equal to ring-size
+ * packets.
+ */
+
+#ifndef IDIO_HARNESS_EXPERIMENT_CONFIG_HH
+#define IDIO_HARNESS_EXPERIMENT_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/config.hh"
+#include "idio/config.hh"
+#include "nf/llc_antagonist.hh"
+#include "dpdk/mbuf.hh"
+#include "nf/network_function.hh"
+#include "nic/nic.hh"
+
+namespace harness
+{
+
+/** Which network function runs on a core. */
+enum class NfKind
+{
+    TouchDrop,
+    CopyTouchDrop, ///< copy-mode recycling (paper Sec. II-B, M1)
+    L2Fwd,
+    L2FwdDropPayload,
+};
+
+/** Printable NF name. */
+const char *nfKindName(NfKind kind);
+
+/** Traffic pattern. */
+enum class TrafficKind
+{
+    Steady,
+    Bursty,
+    Poisson,
+    None, ///< no built-in generator (caller drives the NICs)
+};
+
+/**
+ * Everything needed to build one TestSystem.
+ */
+struct ExperimentConfig
+{
+    /** Cache hierarchy (Table I defaults; numCores set by builder). */
+    cache::HierarchyConfig hier;
+
+    /** IDIO policy (defaults to the DDIO baseline). */
+    idio::IdioConfig idio;
+
+    /** Per-port NIC settings (ring size, PCIe bandwidth). */
+    nic::NicConfig nic;
+
+    /** NF execution-loop settings (selfInvalidate synced from idio). */
+    nf::NfConfig nf;
+
+    /** Antagonist settings, used when withAntagonist. */
+    nf::AntagonistConfig antagonist;
+
+    /** @{ Workload layout. */
+    std::uint32_t numNfs = 2;
+    NfKind nfKind = NfKind::TouchDrop;
+    bool withAntagonist = false;
+
+    /** MLC size of the antagonist core (paper: 256 KB). */
+    std::uint64_t antagonistMlcBytes = 256 * 1024;
+    /** @} */
+
+    /** @{ Traffic. */
+    TrafficKind traffic = TrafficKind::Bursty;
+
+    /** Steady rate or burst line rate, Gbps, per NIC port. */
+    double rateGbps = 100.0;
+
+    /** Burst period (paper: 10 ms). */
+    sim::Tick burstPeriod = 10 * sim::oneMs;
+
+    /** Packets per burst (0 = ring size, the paper's rule). */
+    std::uint32_t burstPackets = 0;
+
+    /** Ethernet frame bytes. */
+    std::uint32_t frameBytes = 1514;
+
+    /** Flows per NF (all steered to its core). */
+    std::uint32_t flowsPerNf = 4;
+
+    /** DSCP for generated flows (>= 32 marks app class 1). */
+    std::uint8_t dscp = 0;
+    /** @} */
+
+    /**
+     * Mempool head-room beyond the ring size (DPDK guidance: ring +
+     * burst + slack). The pool recycles FIFO, so the I/O working set
+     * is ring + extra buffers.
+     */
+    std::uint32_t mempoolExtra = 128;
+
+    /** Buffer recycling order (see dpdk::Mempool; FIFO is faithful). */
+    dpdk::RecycleOrder recycleOrder = dpdk::RecycleOrder::Fifo;
+
+    /** RNG seed for the whole run. */
+    std::uint64_t seed = 1;
+
+    /** Apply a named IDIO policy preset (also syncs nf/dscp knobs). */
+    void
+    applyPolicy(idio::Policy p)
+    {
+        idio = idio::IdioConfig::preset(p);
+        nf.selfInvalidate = idio.selfInvalidate;
+    }
+
+    /** Effective packets per burst. */
+    std::uint32_t
+    effectiveBurstPackets() const
+    {
+        return burstPackets ? burstPackets : nic.ringSize;
+    }
+
+    /** One-line summary for bench output. */
+    std::string summary() const;
+};
+
+} // namespace harness
+
+#endif // IDIO_HARNESS_EXPERIMENT_CONFIG_HH

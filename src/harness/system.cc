@@ -1,0 +1,205 @@
+/**
+ * @file
+ * TestSystem implementation.
+ */
+
+#include "system.hh"
+
+#include "nf/copy_touch_drop.hh"
+
+#include "sim/logging.hh"
+
+namespace harness
+{
+
+Totals
+Totals::operator-(const Totals &o) const
+{
+    Totals d;
+    d.mlcWritebacks = mlcWritebacks - o.mlcWritebacks;
+    d.nfMlcWritebacks = nfMlcWritebacks - o.nfMlcWritebacks;
+    d.mlcPcieInvals = mlcPcieInvals - o.mlcPcieInvals;
+    d.llcWritebacks = llcWritebacks - o.llcWritebacks;
+    d.dramReads = dramReads - o.dramReads;
+    d.dramWrites = dramWrites - o.dramWrites;
+    d.rxPackets = rxPackets - o.rxPackets;
+    d.rxDrops = rxDrops - o.rxDrops;
+    d.processedPackets = processedPackets - o.processedPackets;
+    return d;
+}
+
+TestSystem::TestSystem(const ExperimentConfig &config)
+    : cfg(config), sim_(config.seed)
+{
+    const std::uint32_t numCores =
+        cfg.numNfs + (cfg.withAntagonist ? 1 : 0);
+
+    // Hierarchy: antagonist MLC override, Invalidatable-page oracle.
+    cache::HierarchyConfig hierCfg = cfg.hier;
+    hierCfg.numCores = numCores;
+    if (cfg.withAntagonist) {
+        hierCfg.mlcSizeOverride.resize(numCores, 0);
+        hierCfg.mlcSizeOverride[numCores - 1] = cfg.antagonistMlcBytes;
+    }
+    hierCfg.pageAttributes = &alloc;
+    hier = std::make_unique<cache::MemoryHierarchy>(sim_, "system",
+                                                    hierCfg);
+
+    ctrl = std::make_unique<idio::IdioController>(sim_, "system.idio",
+                                                  *hier, cfg.idio);
+
+    nf::NfConfig nfCfg = cfg.nf;
+    nfCfg.selfInvalidate = cfg.idio.selfInvalidate;
+
+    // One NIC port + mempool + PMD + NF per NF core.
+    for (std::uint32_t i = 0; i < cfg.numNfs; ++i) {
+        const std::string base = "system.nf" + std::to_string(i);
+
+        nics.push_back(std::make_unique<nic::Nic>(
+            sim_, base + ".nic", cfg.nic, *ctrl, alloc, numCores));
+        cores.push_back(std::make_unique<cpu::Core>(
+            sim_, base + ".core", i, *hier));
+        pools.push_back(std::make_unique<dpdk::Mempool>(
+            alloc, cfg.nic.ringSize + cfg.mempoolExtra,
+            dpdk::defaultBufBytes, /*invalidatable=*/true,
+            cfg.recycleOrder));
+        rxqs.push_back(std::make_unique<dpdk::RxQueue>(
+            *cores.back(), *nics.back(), *pools.back()));
+
+        switch (cfg.nfKind) {
+          case NfKind::TouchDrop:
+            nfs.push_back(std::make_unique<nf::TouchDrop>(
+                sim_, base, *cores.back(), *rxqs.back(), nfCfg));
+            break;
+          case NfKind::CopyTouchDrop:
+            nfs.push_back(std::make_unique<nf::CopyTouchDrop>(
+                sim_, base, *cores.back(), *rxqs.back(), nfCfg,
+                alloc));
+            break;
+          case NfKind::L2Fwd:
+            nfs.push_back(std::make_unique<nf::L2Fwd>(
+                sim_, base, *cores.back(), *rxqs.back(), nfCfg));
+            break;
+          case NfKind::L2FwdDropPayload:
+            nfs.push_back(std::make_unique<nf::L2FwdDropPayload>(
+                sim_, base, *cores.back(), *rxqs.back(), nfCfg));
+            break;
+        }
+
+        // Flows of this NF steer to core i via EP perfect-match rules.
+        std::uint8_t dscp = cfg.dscp;
+        if (cfg.nfKind == NfKind::L2FwdDropPayload && dscp < 32)
+            dscp = 40; // class-1 workload unless overridden
+        gen::TrafficConfig tc;
+        tc.frameBytes = cfg.frameBytes;
+        tc.flows = gen::makeFlows(
+            cfg.flowsPerNf,
+            static_cast<std::uint16_t>(5000 + 100 * i), dscp);
+        for (auto &f : tc.flows)
+            nics.back()->flowDirector().addRule(f.tuple, i);
+
+        const std::string genName = base + ".gen";
+        switch (cfg.traffic) {
+          case TrafficKind::Steady:
+            gens.push_back(std::make_unique<gen::SteadyTrafficGen>(
+                sim_, genName, *nics.back(), tc, cfg.rateGbps));
+            break;
+          case TrafficKind::Bursty: {
+            gen::BurstyTrafficGen::BurstParams bp;
+            bp.burstPeriod = cfg.burstPeriod;
+            bp.burstPackets = cfg.effectiveBurstPackets();
+            bp.burstRateGbps = cfg.rateGbps;
+            gens.push_back(std::make_unique<gen::BurstyTrafficGen>(
+                sim_, genName, *nics.back(), tc, bp));
+            break;
+          }
+          case TrafficKind::Poisson:
+            gens.push_back(std::make_unique<gen::PoissonTrafficGen>(
+                sim_, genName, *nics.back(), tc, cfg.rateGbps));
+            break;
+          case TrafficKind::None:
+            break; // externally driven (e.g. trace replay)
+        }
+    }
+
+    if (cfg.withAntagonist) {
+        const sim::CoreId antagCore = numCores - 1;
+        cores.push_back(std::make_unique<cpu::Core>(
+            sim_, "system.antag.core", antagCore, *hier));
+        antag = std::make_unique<nf::LlcAntagonist>(
+            sim_, "system.antag", *cores.back(), alloc,
+            cfg.antagonist);
+    }
+
+    recorder = std::make_unique<TimelineRecorder>(sim_);
+}
+
+TestSystem::~TestSystem() = default;
+
+void
+TestSystem::start()
+{
+    SIM_ASSERT(!started, "TestSystem started twice");
+    started = true;
+
+    ctrl->start();
+    for (auto &n : nics)
+        n->start();
+    for (auto &f : nfs)
+        f->launch();
+    if (antag) {
+        antag->warmUp();
+        antag->launch();
+    }
+    for (auto &g : gens)
+        g->start();
+}
+
+void
+TestSystem::runFor(sim::Tick duration)
+{
+    sim_.runFor(duration);
+}
+
+Totals
+TestSystem::totals() const
+{
+    Totals t;
+    t.mlcWritebacks = hier->totalMlcWritebacks();
+    for (std::uint32_t c = 0; c < cfg.numNfs; ++c) {
+        t.nfMlcWritebacks += hier->mlcOf(c).writebacks.get() +
+                             hier->mlcOf(c).cleanEvictions.get();
+    }
+    t.mlcPcieInvals = hier->totalMlcPcieInvals();
+    t.llcWritebacks = hier->llcWritebacks();
+    t.dramReads = hier->dram().readCount();
+    t.dramWrites = hier->dram().writeCount();
+    for (const auto &n : nics) {
+        t.rxPackets += n->rxPackets.get();
+        t.rxDrops += n->rxDrops.get();
+    }
+    for (const auto &f : nfs)
+        t.processedPackets += f->packetsProcessed.get();
+    return t;
+}
+
+void
+TestSystem::trackDefaultSeries()
+{
+    recorder->trackRate("mlcWB", [this] {
+        return hier->totalMlcWritebacks();
+    });
+    recorder->trackRate("llcWB",
+                        [this] { return hier->llcWritebacks(); });
+    recorder->trackRate("dmaWrites", [this] {
+        return hier->pcieWrites.get();
+    });
+    recorder->trackRate("dramWrites", [this] {
+        return hier->dram().writeCount();
+    });
+    recorder->trackRate("dramReads", [this] {
+        return hier->dram().readCount();
+    });
+}
+
+} // namespace harness

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Full-system builder.
+ *
+ * TestSystem instantiates and wires one complete simulated server from
+ * an ExperimentConfig: cache hierarchy, IDIO controller, one NIC port
+ * + mempool + PMD + network function per NF core, the optional
+ * LLCAntagonist core, traffic generators, and a timeline recorder.
+ * Every bench, example and integration test builds on this class.
+ */
+
+#ifndef IDIO_HARNESS_SYSTEM_HH
+#define IDIO_HARNESS_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "cpu/core.hh"
+#include "dpdk/mbuf.hh"
+#include "dpdk/rx_queue.hh"
+#include "gen/traffic.hh"
+#include "harness/experiment_config.hh"
+#include "harness/timeline.hh"
+#include "idio/controller.hh"
+#include "mem/phys_alloc.hh"
+#include "nf/l2fwd.hh"
+#include "nf/llc_antagonist.hh"
+#include "nf/touch_drop.hh"
+#include "nic/nic.hh"
+#include "sim/simulation.hh"
+
+namespace harness
+{
+
+/** Snapshot of system-wide transaction counts. */
+struct Totals
+{
+    std::uint64_t mlcWritebacks = 0;   ///< MLC->LLC evictions
+    std::uint64_t nfMlcWritebacks = 0; ///< same, NF cores only
+    std::uint64_t mlcPcieInvals = 0;   ///< MLC invals by DMA writes
+    std::uint64_t llcWritebacks = 0;   ///< LLC->DRAM dirty evictions
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t rxPackets = 0;
+    std::uint64_t rxDrops = 0;
+    std::uint64_t processedPackets = 0;
+
+    Totals operator-(const Totals &o) const;
+};
+
+/**
+ * One wired simulated server.
+ */
+class TestSystem
+{
+  public:
+    explicit TestSystem(const ExperimentConfig &config);
+    ~TestSystem();
+
+    TestSystem(const TestSystem &) = delete;
+    TestSystem &operator=(const TestSystem &) = delete;
+
+    /** Start all components (NFs, traffic, control planes). */
+    void start();
+
+    /** Run for @p duration more simulated time. */
+    void runFor(sim::Tick duration);
+
+    /** @{ Component access. */
+    sim::Simulation &simulation() { return sim_; }
+    cache::MemoryHierarchy &hierarchy() { return *hier; }
+    idio::IdioController &controller() { return *ctrl; }
+    nic::Nic &nicPort(std::uint32_t i) { return *nics[i]; }
+    cpu::Core &core(std::uint32_t i) { return *cores[i]; }
+    nf::NetworkFunction &nf(std::uint32_t i) { return *nfs[i]; }
+    dpdk::Mempool &mempool(std::uint32_t i) { return *pools[i]; }
+    gen::TrafficSource &trafficGen(std::uint32_t i) { return *gens[i]; }
+    nf::LlcAntagonist *antagonist() { return antag.get(); }
+    TimelineRecorder &timeline() { return *recorder; }
+    mem::PhysAllocator &allocator() { return alloc; }
+    const ExperimentConfig &config() const { return cfg; }
+    std::uint32_t numNfs() const
+    {
+        return static_cast<std::uint32_t>(nfs.size());
+    }
+    /** @} */
+
+    /** Current transaction totals. */
+    Totals totals() const;
+
+    /** Register the default figure series on the timeline. */
+    void trackDefaultSeries();
+
+  private:
+    ExperimentConfig cfg;
+    sim::Simulation sim_;
+    mem::PhysAllocator alloc;
+
+    std::unique_ptr<cache::MemoryHierarchy> hier;
+    std::unique_ptr<idio::IdioController> ctrl;
+    std::vector<std::unique_ptr<nic::Nic>> nics;
+    std::vector<std::unique_ptr<cpu::Core>> cores;
+    std::vector<std::unique_ptr<dpdk::Mempool>> pools;
+    std::vector<std::unique_ptr<dpdk::RxQueue>> rxqs;
+    std::vector<std::unique_ptr<nf::NetworkFunction>> nfs;
+    std::vector<std::unique_ptr<gen::TrafficSource>> gens;
+    std::unique_ptr<nf::LlcAntagonist> antag;
+    std::unique_ptr<TimelineRecorder> recorder;
+
+    bool started = false;
+};
+
+} // namespace harness
+
+#endif // IDIO_HARNESS_SYSTEM_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * IDIO policy configuration.
+ *
+ * The paper's evaluation compares five configurations (Fig. 9):
+ *  - DDIO: baseline static LLC placement.
+ *  - Invalidate: self-invalidating I/O buffers only (M1).
+ *  - Prefetch: network-driven MLC prefetching only (M2).
+ *  - Static: M1 + M2 with the per-core status register hardcoded to
+ *    MLC (prefetching always on).
+ *  - IDIO: M1 + M2 governed by the dynamic FSM, plus selective direct
+ *    DRAM access (M3).
+ */
+
+#ifndef IDIO_IDIO_CONFIG_HH
+#define IDIO_IDIO_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace idio
+{
+
+/** Named policy presets. */
+enum class Policy
+{
+    Ddio,
+    InvalidateOnly,
+    PrefetchOnly,
+    Static,
+    Idio,
+};
+
+/** Printable policy name. */
+const char *policyName(Policy p);
+
+/**
+ * Prefetcher flavour (Sec. V-C plus the paper's suggested
+ * improvement).
+ */
+enum class PrefetcherKind
+{
+    SimpleQueue, ///< the paper's queued prefetcher
+    CpuPaced,    ///< stalls while too many prefetched lines are unread
+};
+
+/** Parse a policy name ("ddio", "invalidate", ...). */
+Policy parsePolicy(const std::string &name);
+
+/**
+ * Controller and mechanism knobs.
+ */
+struct IdioConfig
+{
+    Policy policy = Policy::Ddio;
+
+    /** M1: software self-invalidates consumed DMA buffers. */
+    bool selfInvalidate = false;
+
+    /** M2: controller sends MLC prefetch hints. */
+    bool mlcPrefetch = false;
+
+    /** Use the dynamic FSM (false = status hardcoded to MLC). */
+    bool dynamicFsm = false;
+
+    /** M3: class-1 payloads go straight to DRAM. */
+    bool directDram = false;
+
+    /** MLC-pressure threshold, million transactions/second. */
+    double mlcThrMtps = 50.0;
+
+    /** Control-plane sampling interval (paper: 1 us). */
+    sim::Tick controlInterval = sim::oneUs;
+
+    /** Samples averaged for mlcWBAvg (paper: 8192). */
+    std::uint32_t avgWindow = 8192;
+
+    /** MLC prefetcher queue depth (paper: 32). */
+    std::uint32_t prefetchQueueDepth = 32;
+
+    /** Pacing between prefetch issues, ns. */
+    double prefetchIssueNs = 5.0;
+
+    /** Prefetcher flavour. */
+    PrefetcherKind prefetcher = PrefetcherKind::SimpleQueue;
+
+    /**
+     * CpuPaced: maximum prefetched-but-unconsumed MLC lines (half the
+     * 1 MB MLC by default).
+     */
+    std::uint32_t prefetchWindowLines = 8192;
+
+    /** Build the preset for a named policy. */
+    static IdioConfig preset(Policy p);
+
+    /** mlcTHR converted to transactions per control interval. */
+    std::uint32_t
+    thresholdPerInterval() const
+    {
+        return static_cast<std::uint32_t>(
+            mlcThrMtps * 1e6 * sim::ticksToSeconds(controlInterval));
+    }
+};
+
+} // namespace idio
+
+#endif // IDIO_IDIO_CONFIG_HH

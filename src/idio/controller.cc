@@ -1,0 +1,148 @@
+/**
+ * @file
+ * IdioController implementation.
+ */
+
+#include "controller.hh"
+
+#include "sim/simulation.hh"
+
+namespace idio
+{
+
+IdioController::IdioController(sim::Simulation &simulation,
+                               const std::string &name,
+                               cache::MemoryHierarchy &hierarchy,
+                               const IdioConfig &config)
+    : sim::SimObject(simulation, name),
+      statGroup(simulation.statsRegistry(), name),
+      headerHints(statGroup, "headerHints",
+                  "prefetch hints for header cachelines"),
+      payloadHints(statGroup, "payloadHints",
+                   "prefetch hints for payload cachelines"),
+      directDramSteers(statGroup, "directDramSteers",
+                       "class-1 writes steered to DRAM"),
+      burstSignals(statGroup, "burstSignals",
+                   "burst notifications received from the classifier"),
+      highPressureIntervals(statGroup, "highPressureIntervals",
+                            "core-intervals with high MLC pressure"),
+      hier(hierarchy), cfg(config),
+      thrPerInterval(config.thresholdPerInterval()),
+      fsms(hierarchy.numCores()),
+      wbThisInterval(hierarchy.numCores(), 0),
+      wbAccum(hierarchy.numCores(), 0),
+      wbAvg(hierarchy.numCores(), 0),
+      controlEvent(simulation.eventq(), config.controlInterval,
+                   [this] { controlPlaneTick(); },
+                   name + ".controlPlane")
+{
+    const std::uint32_t window =
+        cfg.prefetcher == PrefetcherKind::CpuPaced
+            ? cfg.prefetchWindowLines
+            : 0;
+    for (std::uint32_t c = 0; c < hierarchy.numCores(); ++c) {
+        prefetchers.push_back(std::make_unique<MlcPrefetcher>(
+            simulation, name + ".prefetcher" + std::to_string(c),
+            hierarchy, c, cfg.prefetchQueueDepth,
+            sim::nsToTicks(cfg.prefetchIssueNs), window));
+    }
+}
+
+IdioController::~IdioController() = default;
+
+void
+IdioController::start()
+{
+    hier.setMlcWbObserver(
+        [this](sim::CoreId core) { ++wbThisInterval[core]; });
+    if (cfg.prefetcher == PrefetcherKind::CpuPaced) {
+        hier.setPrefetchRetireObserver([this](sim::CoreId core) {
+            prefetchers[core]->onRetire();
+        });
+    }
+    controlEvent.start();
+}
+
+Steering
+IdioController::status(sim::CoreId core) const
+{
+    if (!cfg.mlcPrefetch)
+        return Steering::Llc;
+    if (!cfg.dynamicFsm)
+        return Steering::Mlc; // Static configuration
+    return fsms[core].status();
+}
+
+void
+IdioController::dmaWrite(sim::Addr addr, const nic::TlpMeta &meta)
+{
+    // Baseline DDIO / invalidate-only: static LLC placement.
+    if (!cfg.mlcPrefetch && !cfg.directDram) {
+        hier.pcieWrite(addr);
+        return;
+    }
+
+    // Burst notification resets the FSM to the MLC state (Alg. 1 l.3).
+    if (meta.isBurst && cfg.dynamicFsm && cfg.mlcPrefetch) {
+        if (fsms[meta.destCore].state() != 0)
+            ++burstSignals;
+        fsms[meta.destCore].onBurst();
+    }
+
+    // Headers always stay on the DCA path and are prefetched to the
+    // destination MLC (Alg. 1 l.4-5).
+    if (meta.isHeader && cfg.mlcPrefetch) {
+        hier.pcieWrite(addr);
+        prefetchers[meta.destCore]->hint(addr);
+        ++headerHints;
+        return;
+    }
+
+    // Class-1 payloads bypass the cache hierarchy (Alg. 1 l.6-7).
+    if (meta.appClass == 1 && cfg.directDram) {
+        hier.pcieWriteDirectDram(addr);
+        ++directDramSteers;
+        return;
+    }
+
+    // Class-0 payloads: DDIO write, plus a prefetch hint while the
+    // destination core's status register reads MLC (Alg. 1 l.8-11).
+    hier.pcieWrite(addr);
+    if (cfg.mlcPrefetch && status(meta.destCore) == Steering::Mlc) {
+        prefetchers[meta.destCore]->hint(addr);
+        ++payloadHints;
+    }
+}
+
+sim::Tick
+IdioController::dmaRead(sim::Addr addr)
+{
+    return hier.pcieRead(addr);
+}
+
+void
+IdioController::controlPlaneTick()
+{
+    const std::uint32_t n = hier.numCores();
+    for (std::uint32_t c = 0; c < n; ++c) {
+        const bool high =
+            wbThisInterval[c] > wbAvg[c] + thrPerInterval;
+        if (high)
+            ++highPressureIntervals;
+        if (cfg.mlcPrefetch && cfg.dynamicFsm)
+            fsms[c].step(high);
+        wbAccum[c] += wbThisInterval[c];
+        wbThisInterval[c] = 0;
+    }
+
+    if (++intervalsSinceAvg >= cfg.avgWindow) {
+        for (std::uint32_t c = 0; c < n; ++c) {
+            wbAvg[c] = static_cast<std::uint32_t>(wbAccum[c] /
+                                                  cfg.avgWindow);
+            wbAccum[c] = 0;
+        }
+        intervalsSinceAvg = 0;
+    }
+}
+
+} // namespace idio

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The IDIO controller (paper Sec. V-B, Algorithm 1).
+ *
+ * Sits at the PCIe root complex between the NIC DMA engines and the
+ * cache hierarchy. The data plane steers each inbound DMA write:
+ * headers get MLC prefetch hints, class-1 payloads bypass to DRAM,
+ * class-0 payloads get prefetch hints while the destination core's
+ * status register reads MLC, and everything else follows the normal
+ * DDIO path. The control plane samples per-core MLC writeback counts
+ * every 1 us, maintains an 8192-sample running average, and steps the
+ * per-core steering FSMs.
+ *
+ * With the DDIO policy preset the controller degenerates into the
+ * baseline: every write takes the plain DDIO path.
+ */
+
+#ifndef IDIO_IDIO_CONTROLLER_HH
+#define IDIO_IDIO_CONTROLLER_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "idio/config.hh"
+#include "idio/fsm.hh"
+#include "idio/prefetcher.hh"
+#include "nic/dma.hh"
+#include "sim/periodic.hh"
+#include "sim/sim_object.hh"
+#include "stats/registry.hh"
+
+namespace idio
+{
+
+/**
+ * Root-complex DMA steering controller.
+ */
+class IdioController : public sim::SimObject, public nic::DmaTarget
+{
+    stats::StatGroup statGroup;
+
+  public:
+    IdioController(sim::Simulation &simulation, const std::string &name,
+                   cache::MemoryHierarchy &hierarchy,
+                   const IdioConfig &config);
+
+    ~IdioController() override;
+
+    /** Hook the MLC telemetry and start the control plane. */
+    void start();
+
+    /** @{ nic::DmaTarget. */
+    void dmaWrite(sim::Addr addr, const nic::TlpMeta &meta) override;
+    sim::Tick dmaRead(sim::Addr addr) override;
+    /** @} */
+
+    /** Current steering status for @p core. */
+    Steering status(sim::CoreId core) const;
+
+    /** FSM counter value for @p core. */
+    std::uint8_t fsmState(sim::CoreId core) const
+    {
+        return fsms[core].state();
+    }
+
+    /** Running MLC-writeback average (per interval) for @p core. */
+    std::uint32_t
+    mlcWbAvg(sim::CoreId core) const
+    {
+        return wbAvg[core];
+    }
+
+    const IdioConfig &config() const { return cfg; }
+
+    /** Per-core prefetcher access (for tests). */
+    MlcPrefetcher &prefetcher(sim::CoreId core)
+    {
+        return *prefetchers[core];
+    }
+
+    /** @{ Counters. */
+    stats::Counter headerHints;
+    stats::Counter payloadHints;
+    stats::Counter directDramSteers;
+    stats::Counter burstSignals;
+    stats::Counter highPressureIntervals;
+    /** @} */
+
+  private:
+    void controlPlaneTick();
+
+    cache::MemoryHierarchy &hier;
+    IdioConfig cfg;
+    std::uint32_t thrPerInterval;
+
+    std::vector<SteeringFsm> fsms;
+    std::vector<std::uint32_t> wbThisInterval; ///< mlcWB
+    std::vector<std::uint64_t> wbAccum;        ///< mlcWBAcc
+    std::vector<std::uint32_t> wbAvg;          ///< mlcWBAvg
+    std::uint32_t intervalsSinceAvg = 0;
+
+    std::vector<std::unique_ptr<MlcPrefetcher>> prefetchers;
+    sim::PeriodicEvent controlEvent;
+};
+
+} // namespace idio
+
+#endif // IDIO_IDIO_CONTROLLER_HH

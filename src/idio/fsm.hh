@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Per-core steering FSM (paper Fig. 8).
+ *
+ * A 2-bit saturating counter per physical core decides whether inbound
+ * class-0 DMA data is prefetched to the core's MLC. State 0b11 (the
+ * reset state) means "LLC" — prefetching disabled. A detected RX burst
+ * forces the state to 0b00 ("MLC"). Every control interval the counter
+ * is incremented under high MLC pressure and decremented otherwise,
+ * saturating at both ends; the status bit reads MLC unless the counter
+ * sits at 0b11.
+ */
+
+#ifndef IDIO_IDIO_FSM_HH
+#define IDIO_IDIO_FSM_HH
+
+#include <cstdint>
+
+namespace idio
+{
+
+/** Destination encoded by the status bit. */
+enum class Steering : std::uint8_t
+{
+    Llc = 0,
+    Mlc = 1,
+};
+
+/**
+ * The 2-bit saturating steering FSM for one core.
+ */
+class SteeringFsm
+{
+  public:
+    /** Counter value (0b00..0b11). */
+    std::uint8_t state() const { return counter; }
+
+    /** Current steering target. */
+    Steering
+    status() const
+    {
+        return counter == 3 ? Steering::Llc : Steering::Mlc;
+    }
+
+    /** A burst was detected for this core: jump to 0b00. */
+    void onBurst() { counter = 0; }
+
+    /**
+     * One control-plane step.
+     * @param highPressure mlcWB exceeded mlcWBAvg + mlcTHR.
+     */
+    void
+    step(bool highPressure)
+    {
+        if (highPressure) {
+            if (counter < 3)
+                ++counter;
+        } else {
+            if (counter > 0)
+                --counter;
+        }
+    }
+
+    /** Reset to the power-on state (prefetching disabled). */
+    void reset() { counter = 3; }
+
+  private:
+    std::uint8_t counter = 3;
+};
+
+} // namespace idio
+
+#endif // IDIO_IDIO_FSM_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Cacheline address arithmetic.
+ *
+ * Everything in the model moves at cacheline (64 B) granularity, which
+ * matches the paper's PCIe-write assumption ("DMA write requests are
+ * mostly full cacheline writes").
+ */
+
+#ifndef IDIO_MEM_ADDR_HH
+#define IDIO_MEM_ADDR_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace mem
+{
+
+/** Cacheline size in bytes. */
+constexpr std::uint32_t lineSize = 64;
+
+/** log2(lineSize). */
+constexpr std::uint32_t lineShift = 6;
+
+static_assert((1u << lineShift) == lineSize);
+
+/** Align an address down to its cacheline base. */
+constexpr sim::Addr
+lineAlign(sim::Addr a)
+{
+    return a & ~sim::Addr(lineSize - 1);
+}
+
+/** Cacheline index of an address. */
+constexpr sim::Addr
+lineNumber(sim::Addr a)
+{
+    return a >> lineShift;
+}
+
+/** Offset of an address within its cacheline. */
+constexpr std::uint32_t
+lineOffset(sim::Addr a)
+{
+    return static_cast<std::uint32_t>(a & (lineSize - 1));
+}
+
+/** True when @p a is cacheline aligned. */
+constexpr bool
+isLineAligned(sim::Addr a)
+{
+    return lineOffset(a) == 0;
+}
+
+/**
+ * Number of cachelines spanned by the byte range [addr, addr + bytes).
+ */
+constexpr std::uint64_t
+linesSpanned(sim::Addr addr, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return 0;
+    const sim::Addr first = lineNumber(addr);
+    const sim::Addr last = lineNumber(addr + bytes - 1);
+    return last - first + 1;
+}
+
+} // namespace mem
+
+#endif // IDIO_MEM_ADDR_HH

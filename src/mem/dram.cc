@@ -1,0 +1,63 @@
+/**
+ * @file
+ * DramModel implementation.
+ */
+
+#include "dram.hh"
+
+#include <algorithm>
+
+#include "sim/simulation.hh"
+
+namespace mem
+{
+
+const char *
+hitLevelName(HitLevel level)
+{
+    switch (level) {
+      case HitLevel::L1:
+        return "L1";
+      case HitLevel::MLC:
+        return "MLC";
+      case HitLevel::LLC:
+        return "LLC";
+      case HitLevel::DRAM:
+        return "DRAM";
+    }
+    return "?";
+}
+
+DramModel::DramModel(sim::Simulation &simulation, const std::string &name,
+                     const DramConfig &config)
+    : sim::SimObject(simulation, name), cfg(config),
+      statGroup(simulation.statsRegistry(), name),
+      reads(statGroup, "reads", "DRAM cacheline read transactions"),
+      writes(statGroup, "writes", "DRAM cacheline write transactions"),
+      queuedTicks(statGroup, "queuedTicks",
+                  "total queueing delay suffered at DRAM (ticks)")
+{
+    accessLatency = sim::nsToTicks(cfg.accessLatencyNs);
+    // Time one cacheline occupies the (aggregated) channels.
+    const double ns = static_cast<double>(lineSize) / cfg.bandwidthGBps;
+    serviceTime = std::max<sim::Tick>(1, sim::nsToTicks(ns));
+}
+
+sim::Tick
+DramModel::access(AccessType type)
+{
+    const sim::Tick nowT = now();
+    const sim::Tick start = std::max(nowT, nextFree);
+    const sim::Tick queueDelay = start - nowT;
+    nextFree = start + serviceTime;
+
+    if (type == AccessType::Read)
+        ++reads;
+    else
+        ++writes;
+    queuedTicks += queueDelay;
+
+    return queueDelay + accessLatency;
+}
+
+} // namespace mem

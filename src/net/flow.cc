@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Toeplitz hashing.
+ */
+
+#include "flow.hh"
+
+namespace net
+{
+
+// Microsoft's canonical RSS key (40 bytes).
+const std::uint8_t defaultRssKey[40] = {
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67,
+    0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0, 0xd0, 0xca, 0x2b, 0xcb,
+    0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+};
+
+namespace
+{
+
+/** Bit @p b (MSB first) of the byte array @p bytes. */
+bool
+bitAt(const std::uint8_t *bytes, int b)
+{
+    return (bytes[b / 8] >> (7 - (b % 8))) & 1;
+}
+
+/** The 32 key bits starting at bit offset @p b. */
+std::uint32_t
+keyWindow(const std::uint8_t *key, int b)
+{
+    std::uint32_t w = 0;
+    for (int i = 0; i < 32; ++i)
+        w = (w << 1) | static_cast<std::uint32_t>(bitAt(key, b + i));
+    return w;
+}
+
+} // anonymous namespace
+
+std::uint32_t
+toeplitzHash(const FiveTuple &tuple, const std::uint8_t *key)
+{
+    // Standard IPv4-with-ports RSS input: srcIp | dstIp | srcPort |
+    // dstPort, 12 bytes big-endian. The protocol byte is not hashed.
+    std::uint8_t input[12];
+    input[0] = static_cast<std::uint8_t>(tuple.srcIp >> 24);
+    input[1] = static_cast<std::uint8_t>(tuple.srcIp >> 16);
+    input[2] = static_cast<std::uint8_t>(tuple.srcIp >> 8);
+    input[3] = static_cast<std::uint8_t>(tuple.srcIp);
+    input[4] = static_cast<std::uint8_t>(tuple.dstIp >> 24);
+    input[5] = static_cast<std::uint8_t>(tuple.dstIp >> 16);
+    input[6] = static_cast<std::uint8_t>(tuple.dstIp >> 8);
+    input[7] = static_cast<std::uint8_t>(tuple.dstIp);
+    input[8] = static_cast<std::uint8_t>(tuple.srcPort >> 8);
+    input[9] = static_cast<std::uint8_t>(tuple.srcPort);
+    input[10] = static_cast<std::uint8_t>(tuple.dstPort >> 8);
+    input[11] = static_cast<std::uint8_t>(tuple.dstPort);
+
+    std::uint32_t result = 0;
+    for (int b = 0; b < 96; ++b) {
+        if (bitAt(input, b))
+            result ^= keyWindow(key, b);
+    }
+    return result;
+}
+
+std::uint32_t
+toeplitzHash(const FiveTuple &tuple)
+{
+    return toeplitzHash(tuple, defaultRssKey);
+}
+
+} // namespace net

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Flow identification and RSS/Flow-Director hashing.
+ */
+
+#ifndef IDIO_NET_FLOW_HH
+#define IDIO_NET_FLOW_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "net/headers.hh"
+
+namespace net
+{
+
+/**
+ * Canonical 5-tuple identifying a flow.
+ */
+struct FiveTuple
+{
+    std::uint32_t srcIp = 0;
+    std::uint32_t dstIp = 0;
+    std::uint16_t srcPort = 0;
+    std::uint16_t dstPort = 0;
+    IpProto proto = IpProto::Udp;
+
+    bool operator==(const FiveTuple &) const = default;
+};
+
+/**
+ * Toeplitz hash over the 5-tuple, as used by RSS and Flow Director's
+ * signature filters. @p key must provide at least 40 bytes.
+ */
+std::uint32_t toeplitzHash(const FiveTuple &tuple,
+                           const std::uint8_t *key);
+
+/** The default Microsoft RSS key. */
+extern const std::uint8_t defaultRssKey[40];
+
+/** Toeplitz hash with the default key. */
+std::uint32_t toeplitzHash(const FiveTuple &tuple);
+
+/** Cheap structural hash for container keys. */
+struct FiveTupleHash
+{
+    std::size_t
+    operator()(const FiveTuple &t) const
+    {
+        std::uint64_t h = t.srcIp;
+        h = h * 0x100000001b3ULL ^ t.dstIp;
+        h = h * 0x100000001b3ULL ^ t.srcPort;
+        h = h * 0x100000001b3ULL ^ t.dstPort;
+        h = h * 0x100000001b3ULL ^ static_cast<std::uint8_t>(t.proto);
+        return static_cast<std::size_t>(h);
+    }
+};
+
+} // namespace net
+
+#endif // IDIO_NET_FLOW_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Header serialisation and checksums.
+ */
+
+#include "headers.hh"
+
+#include <cstdio>
+
+namespace net
+{
+
+namespace
+{
+
+void
+put16(std::uint8_t *out, std::uint16_t v)
+{
+    out[0] = static_cast<std::uint8_t>(v >> 8);
+    out[1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+std::uint16_t
+get16(const std::uint8_t *in)
+{
+    return static_cast<std::uint16_t>((in[0] << 8) | in[1]);
+}
+
+void
+put32(std::uint8_t *out, std::uint32_t v)
+{
+    out[0] = static_cast<std::uint8_t>(v >> 24);
+    out[1] = static_cast<std::uint8_t>(v >> 16);
+    out[2] = static_cast<std::uint8_t>(v >> 8);
+    out[3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint32_t
+get32(const std::uint8_t *in)
+{
+    return (std::uint32_t(in[0]) << 24) | (std::uint32_t(in[1]) << 16) |
+           (std::uint32_t(in[2]) << 8) | std::uint32_t(in[3]);
+}
+
+} // anonymous namespace
+
+void
+EthernetHeader::write(std::uint8_t *out) const
+{
+    std::memcpy(out, dst.data(), 6);
+    std::memcpy(out + 6, src.data(), 6);
+    put16(out + 12, etherType);
+}
+
+EthernetHeader
+EthernetHeader::read(const std::uint8_t *in)
+{
+    EthernetHeader h;
+    std::memcpy(h.dst.data(), in, 6);
+    std::memcpy(h.src.data(), in + 6, 6);
+    h.etherType = get16(in + 12);
+    return h;
+}
+
+void
+Ipv4Header::write(std::uint8_t *out) const
+{
+    out[0] = 0x45; // version 4, IHL 5
+    out[1] = static_cast<std::uint8_t>((dscp << 2) | (ecn & 0x3));
+    put16(out + 2, totalLength);
+    put16(out + 4, identification);
+    put16(out + 6, 0); // flags + fragment offset
+    out[8] = ttl;
+    out[9] = static_cast<std::uint8_t>(protocol);
+    put16(out + 10, 0); // checksum placeholder
+    put32(out + 12, srcIp);
+    put32(out + 16, dstIp);
+    put16(out + 10, checksum(out, wireBytes));
+}
+
+Ipv4Header
+Ipv4Header::read(const std::uint8_t *in)
+{
+    Ipv4Header h;
+    h.dscp = static_cast<std::uint8_t>(in[1] >> 2);
+    h.ecn = static_cast<std::uint8_t>(in[1] & 0x3);
+    h.totalLength = get16(in + 2);
+    h.identification = get16(in + 4);
+    h.ttl = in[8];
+    h.protocol = static_cast<IpProto>(in[9]);
+    h.srcIp = get32(in + 12);
+    h.dstIp = get32(in + 16);
+    return h;
+}
+
+std::uint16_t
+Ipv4Header::checksum(const std::uint8_t *bytes, std::size_t len)
+{
+    std::uint32_t sum = 0;
+    for (std::size_t i = 0; i + 1 < len; i += 2)
+        sum += get16(bytes + i);
+    if (len & 1)
+        sum += std::uint32_t(bytes[len - 1]) << 8;
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    return static_cast<std::uint16_t>(~sum);
+}
+
+void
+UdpHeader::write(std::uint8_t *out) const
+{
+    put16(out, srcPort);
+    put16(out + 2, dstPort);
+    put16(out + 4, length);
+    put16(out + 6, checksum);
+}
+
+UdpHeader
+UdpHeader::read(const std::uint8_t *in)
+{
+    UdpHeader h;
+    h.srcPort = get16(in);
+    h.dstPort = get16(in + 2);
+    h.length = get16(in + 4);
+    h.checksum = get16(in + 6);
+    return h;
+}
+
+std::string
+ipToString(std::uint32_t ip)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xff,
+                  (ip >> 16) & 0xff, (ip >> 8) & 0xff, ip & 0xff);
+    return buf;
+}
+
+} // namespace net

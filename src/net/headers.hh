@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Wire-format protocol headers.
+ *
+ * The simulator is cacheline-granular and does not need byte-accurate
+ * payloads, but the NIC-side IDIO classifier is defined in terms of
+ * real header fields (the IPv4 DSCP bits select the application class,
+ * the 5-tuple drives Flow Director). These structs provide the exact
+ * field layout, serialisation, and checksum math so classifier tests
+ * can operate on real bytes.
+ */
+
+#ifndef IDIO_NET_HEADERS_HH
+#define IDIO_NET_HEADERS_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace net
+{
+
+/** Bytes of an Ethernet MAC address. */
+using MacAddr = std::array<std::uint8_t, 6>;
+
+/** Ethernet MTU (payload bytes) and maximum frame size. */
+constexpr std::uint32_t ethernetMtu = 1500;
+
+/** Maximum Ethernet frame (MTU + 14 B header), the paper's 1514 B. */
+constexpr std::uint32_t maxFrameBytes = 1514;
+
+/** Combined Ethernet+IPv4+UDP header bytes. */
+constexpr std::uint32_t headerBytes = 14 + 20 + 8;
+
+/** IANA protocol numbers used by the models. */
+enum class IpProto : std::uint8_t
+{
+    Tcp = 6,
+    Udp = 17,
+};
+
+/**
+ * Ethernet II header (14 bytes on the wire).
+ */
+struct EthernetHeader
+{
+    MacAddr dst{};
+    MacAddr src{};
+    std::uint16_t etherType = 0x0800; // IPv4
+
+    static constexpr std::uint32_t wireBytes = 14;
+
+    /** Serialise to @p out (must have wireBytes space). */
+    void write(std::uint8_t *out) const;
+
+    /** Parse from @p in. */
+    static EthernetHeader read(const std::uint8_t *in);
+
+    bool operator==(const EthernetHeader &) const = default;
+};
+
+/**
+ * IPv4 header (20 bytes, no options).
+ *
+ * The 6-bit DSCP field (upper bits of the old ToS byte) carries the
+ * IDIO application class, as proposed in paper Sec. V-A.
+ */
+struct Ipv4Header
+{
+    std::uint8_t dscp = 0;      ///< 6-bit differentiated services
+    std::uint8_t ecn = 0;       ///< 2-bit ECN
+    std::uint16_t totalLength = 0;
+    std::uint16_t identification = 0;
+    std::uint8_t ttl = 64;
+    IpProto protocol = IpProto::Udp;
+    std::uint32_t srcIp = 0;
+    std::uint32_t dstIp = 0;
+
+    static constexpr std::uint32_t wireBytes = 20;
+
+    /** Serialise (computes and embeds the header checksum). */
+    void write(std::uint8_t *out) const;
+
+    /** Parse from @p in (does not verify the checksum). */
+    static Ipv4Header read(const std::uint8_t *in);
+
+    /** RFC 791 ones-complement header checksum of @p bytes. */
+    static std::uint16_t checksum(const std::uint8_t *bytes,
+                                  std::size_t len);
+
+    bool operator==(const Ipv4Header &) const = default;
+};
+
+/**
+ * UDP header (8 bytes).
+ */
+struct UdpHeader
+{
+    std::uint16_t srcPort = 0;
+    std::uint16_t dstPort = 0;
+    std::uint16_t length = 0;
+    std::uint16_t checksum = 0; // optional in IPv4; 0 = unused
+
+    static constexpr std::uint32_t wireBytes = 8;
+
+    void write(std::uint8_t *out) const;
+    static UdpHeader read(const std::uint8_t *in);
+
+    bool operator==(const UdpHeader &) const = default;
+};
+
+/** Render an IPv4 address dotted-quad for diagnostics. */
+std::string ipToString(std::uint32_t ip);
+
+} // namespace net
+
+#endif // IDIO_NET_HEADERS_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Packet header rendering.
+ */
+
+#include "packet.hh"
+
+namespace net
+{
+
+void
+Packet::renderHeaders(std::uint8_t *out) const
+{
+    EthernetHeader eth;
+    eth.dst = MacAddr{0x02, 0, 0, 0, 0, 0x01};
+    eth.src = MacAddr{0x02, 0, 0, 0, 0, 0x02};
+    eth.write(out);
+
+    Ipv4Header ip;
+    ip.dscp = dscp;
+    ip.totalLength = static_cast<std::uint16_t>(
+        frameBytes - EthernetHeader::wireBytes);
+    ip.identification = static_cast<std::uint16_t>(seq);
+    ip.protocol = flow.proto;
+    ip.srcIp = flow.srcIp;
+    ip.dstIp = flow.dstIp;
+    ip.write(out + EthernetHeader::wireBytes);
+
+    UdpHeader udp;
+    udp.srcPort = flow.srcPort;
+    udp.dstPort = flow.dstPort;
+    udp.length = static_cast<std::uint16_t>(
+        frameBytes - EthernetHeader::wireBytes - Ipv4Header::wireBytes);
+    udp.write(out + EthernetHeader::wireBytes + Ipv4Header::wireBytes);
+}
+
+Packet
+Packet::parseHeaders(const std::uint8_t *in)
+{
+    Packet p;
+    const Ipv4Header ip = Ipv4Header::read(in + EthernetHeader::wireBytes);
+    const UdpHeader udp = UdpHeader::read(
+        in + EthernetHeader::wireBytes + Ipv4Header::wireBytes);
+    p.flow.srcIp = ip.srcIp;
+    p.flow.dstIp = ip.dstIp;
+    p.flow.proto = ip.protocol;
+    p.flow.srcPort = udp.srcPort;
+    p.flow.dstPort = udp.dstPort;
+    p.dscp = ip.dscp;
+    p.frameBytes = ip.totalLength + EthernetHeader::wireBytes;
+    return p;
+}
+
+} // namespace net

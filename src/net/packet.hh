@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The simulated packet.
+ *
+ * Packets carry flow identity, size, DSCP class, and timestamps; the
+ * payload itself is not materialised (the hierarchy model is
+ * cacheline-granular). renderHeaders() produces the real wire bytes of
+ * the first cacheline for classifier tests.
+ */
+
+#ifndef IDIO_NET_PACKET_HH
+#define IDIO_NET_PACKET_HH
+
+#include <cstdint>
+
+#include "net/flow.hh"
+#include "net/headers.hh"
+#include "sim/types.hh"
+
+namespace net
+{
+
+/**
+ * One network packet in flight.
+ */
+struct Packet
+{
+    FiveTuple flow;
+    std::uint32_t frameBytes = maxFrameBytes; ///< Ethernet frame size
+    std::uint8_t dscp = 0;                    ///< IDIO app class source
+    std::uint64_t seq = 0;                    ///< generator sequence no
+    sim::Tick genTime = 0;                    ///< left the generator
+    sim::Tick nicArrival = 0;                 ///< hit the NIC MAC
+
+    /** Payload bytes after the protocol headers. */
+    std::uint32_t
+    payloadBytes() const
+    {
+        return frameBytes > headerBytes ? frameBytes - headerBytes : 0;
+    }
+
+    /** Cachelines the frame occupies in a DMA buffer. */
+    std::uint32_t
+    lines() const
+    {
+        return (frameBytes + 63) / 64;
+    }
+
+    /**
+     * Write the Ethernet+IPv4+UDP headers (headerBytes bytes) into
+     * @p out, embedding this packet's flow and DSCP.
+     */
+    void renderHeaders(std::uint8_t *out) const;
+
+    /** Parse a rendered header block back into flow identity + DSCP. */
+    static Packet parseHeaders(const std::uint8_t *in);
+};
+
+} // namespace net
+
+#endif // IDIO_NET_PACKET_HH

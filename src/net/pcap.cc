@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Classic pcap serialisation.
+ *
+ * Format reference: the de-facto libpcap layout — a 24-byte global
+ * header (magic 0xa1b2c3d4 for microsecond timestamps) followed by
+ * per-record headers of (ts_sec, ts_usec, incl_len, orig_len).
+ * We use the nanosecond-precision magic 0xa1b23c4d since simulated
+ * time is picosecond-granular.
+ */
+
+#include "pcap.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace net
+{
+
+namespace
+{
+
+constexpr std::uint32_t pcapMagicNanos = 0xa1b23c4d;
+constexpr std::uint16_t pcapVersionMajor = 2;
+constexpr std::uint16_t pcapVersionMinor = 4;
+constexpr std::uint32_t linkTypeEthernet = 1;
+
+struct GlobalHeader
+{
+    std::uint32_t magic;
+    std::uint16_t versionMajor;
+    std::uint16_t versionMinor;
+    std::int32_t thisZone;
+    std::uint32_t sigfigs;
+    std::uint32_t snapLen;
+    std::uint32_t network;
+};
+
+struct RecordHeader
+{
+    std::uint32_t tsSec;
+    std::uint32_t tsNsec; // nanoseconds with the nanos magic
+    std::uint32_t inclLen;
+    std::uint32_t origLen;
+};
+
+} // anonymous namespace
+
+PcapWriter::PcapWriter(const std::string &path, std::uint32_t snapLen)
+    : snapLen(snapLen)
+{
+    file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        sim::fatal("cannot open pcap file '%s'", path.c_str());
+
+    GlobalHeader gh{};
+    gh.magic = pcapMagicNanos;
+    gh.versionMajor = pcapVersionMajor;
+    gh.versionMinor = pcapVersionMinor;
+    gh.snapLen = snapLen;
+    gh.network = linkTypeEthernet;
+    std::fwrite(&gh, sizeof(gh), 1, file);
+}
+
+PcapWriter::~PcapWriter()
+{
+    close();
+}
+
+void
+PcapWriter::close()
+{
+    if (file) {
+        std::fclose(file);
+        file = nullptr;
+    }
+}
+
+void
+PcapWriter::record(sim::Tick when, const Packet &pkt)
+{
+    SIM_ASSERT(file != nullptr, "recording into a closed pcap");
+
+    std::uint8_t frame[2048] = {};
+    pkt.renderHeaders(frame);
+    const std::uint32_t incl =
+        std::min({pkt.frameBytes, snapLen,
+                  static_cast<std::uint32_t>(sizeof(frame))});
+
+    RecordHeader rh{};
+    rh.tsSec = static_cast<std::uint32_t>(when / sim::oneSec);
+    rh.tsNsec =
+        static_cast<std::uint32_t>((when % sim::oneSec) / sim::oneNs);
+    rh.inclLen = incl;
+    rh.origLen = pkt.frameBytes;
+    std::fwrite(&rh, sizeof(rh), 1, file);
+    std::fwrite(frame, 1, incl, file);
+    ++nRecords;
+}
+
+std::vector<TraceRecord>
+PcapReader::readAll(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        sim::fatal("cannot open pcap file '%s'", path.c_str());
+
+    GlobalHeader gh{};
+    if (std::fread(&gh, sizeof(gh), 1, f) != 1) {
+        std::fclose(f);
+        sim::fatal("'%s': truncated pcap header", path.c_str());
+    }
+    const bool nanos = gh.magic == pcapMagicNanos;
+    if (!nanos && gh.magic != 0xa1b2c3d4u) {
+        std::fclose(f);
+        sim::fatal("'%s': not a pcap file (magic 0x%08x)",
+                   path.c_str(), gh.magic);
+    }
+    if (gh.network != linkTypeEthernet) {
+        std::fclose(f);
+        sim::fatal("'%s': unsupported link type %u", path.c_str(),
+                   gh.network);
+    }
+
+    std::vector<TraceRecord> out;
+    for (;;) {
+        RecordHeader rh{};
+        if (std::fread(&rh, sizeof(rh), 1, f) != 1)
+            break; // EOF
+        std::vector<std::uint8_t> data(rh.inclLen);
+        if (rh.inclLen &&
+            std::fread(data.data(), 1, rh.inclLen, f) != rh.inclLen) {
+            std::fclose(f);
+            sim::fatal("'%s': truncated pcap record", path.c_str());
+        }
+
+        TraceRecord rec;
+        rec.when = sim::Tick(rh.tsSec) * sim::oneSec +
+                   sim::Tick(rh.tsNsec) *
+                       (nanos ? sim::oneNs : sim::oneUs);
+        if (rh.inclLen >= headerBytes) {
+            rec.pkt = Packet::parseHeaders(data.data());
+            rec.pkt.frameBytes = rh.origLen;
+        } else {
+            rec.pkt.frameBytes = rh.origLen;
+        }
+        out.push_back(rec);
+    }
+    std::fclose(f);
+    return out;
+}
+
+} // namespace net

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Packet capture in the classic libpcap format.
+ *
+ * PcapWriter records simulated packets (headers rendered to real wire
+ * bytes, payload zero-filled) into files any standard tool can open
+ * (tcpdump/wireshark/tshark); PcapReader loads captures back, so
+ * experiments can be driven by recorded or externally produced
+ * traces via gen::TraceTrafficGen.
+ */
+
+#ifndef IDIO_NET_PCAP_HH
+#define IDIO_NET_PCAP_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "net/packet.hh"
+#include "sim/types.hh"
+
+namespace net
+{
+
+/** One record of a capture: arrival time plus the packet identity. */
+struct TraceRecord
+{
+    sim::Tick when = 0;
+    Packet pkt;
+};
+
+/**
+ * Writes classic (non-ng) pcap files, LINKTYPE_ETHERNET.
+ */
+class PcapWriter
+{
+  public:
+    /**
+     * Open @p path and emit the global header.
+     * @param snapLen Bytes captured per packet (headers always fit).
+     */
+    explicit PcapWriter(const std::string &path,
+                        std::uint32_t snapLen = 128);
+    ~PcapWriter();
+
+    PcapWriter(const PcapWriter &) = delete;
+    PcapWriter &operator=(const PcapWriter &) = delete;
+
+    /** Append one packet stamped at @p when. */
+    void record(sim::Tick when, const Packet &pkt);
+
+    /** Packets written so far. */
+    std::uint64_t count() const { return nRecords; }
+
+    /** Flush and close (also done by the destructor). */
+    void close();
+
+  private:
+    std::FILE *file = nullptr;
+    std::uint32_t snapLen;
+    std::uint64_t nRecords = 0;
+};
+
+/**
+ * Reads pcap files produced by PcapWriter (or any classic pcap file
+ * of Ethernet/IPv4/UDP traffic).
+ */
+class PcapReader
+{
+  public:
+    /**
+     * Load every record of @p path. fatal()s on malformed files.
+     */
+    static std::vector<TraceRecord> readAll(const std::string &path);
+};
+
+} // namespace net
+
+#endif // IDIO_NET_PCAP_HH

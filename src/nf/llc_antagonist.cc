@@ -1,0 +1,75 @@
+/**
+ * @file
+ * LlcAntagonist implementation.
+ */
+
+#include "llc_antagonist.hh"
+
+#include "sim/simulation.hh"
+
+namespace nf
+{
+
+LlcAntagonist::LlcAntagonist(sim::Simulation &simulation,
+                             const std::string &name, cpu::Core &core,
+                             mem::PhysAllocator &alloc,
+                             const AntagonistConfig &config)
+    : sim::SimObject(simulation, name),
+      statGroup(simulation.statsRegistry(), name),
+      accesses(statGroup, "accesses", "random accesses performed"),
+      accessTicks(statGroup, "accessTicks",
+                  "total latency of random accesses (ticks)"),
+      core(core), cfg(config),
+      base(alloc.allocate(config.bufferBytes, mem::pageSize)),
+      lines(config.bufferBytes / mem::lineSize),
+      perAccessCost(sim::nsToTicks(config.perAccessCostNs)),
+      rng(simulation.deriveRng(name).next())
+{
+}
+
+void
+LlcAntagonist::warmUp()
+{
+    for (std::uint64_t i = 0; i < lines; ++i)
+        core.read(base + i * mem::lineSize, 1);
+    // The warm-up is logically instantaneous: drop the DRAM channel
+    // backlog it accumulated so measurement starts clean.
+    core.hierarchy().dram().resetTiming();
+}
+
+void
+LlcAntagonist::launch()
+{
+    core.run(*this);
+}
+
+sim::Tick
+LlcAntagonist::step(cpu::Core &c)
+{
+    sim::Tick lat = 0;
+    for (std::uint32_t i = 0; i < cfg.accessesPerStep; ++i) {
+        const sim::Addr addr =
+            base + rng.below(lines) * mem::lineSize;
+        sim::Tick access;
+        if (rng.chance(cfg.writeFraction))
+            access = c.write(addr, 1);
+        else
+            access = c.read(addr, 1);
+        access += perAccessCost;
+        lat += access;
+        ++accesses;
+        accessTicks += access;
+    }
+    return lat > 0 ? lat : 1;
+}
+
+double
+LlcAntagonist::ticksPerAccess() const
+{
+    if (accesses.get() == 0)
+        return 0.0;
+    return static_cast<double>(accessTicks.get()) /
+           static_cast<double>(accesses.get());
+}
+
+} // namespace nf

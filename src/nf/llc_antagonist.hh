@@ -1,0 +1,88 @@
+/**
+ * @file
+ * LLCAntagonist workload (paper Table II).
+ *
+ * "Allocate a variable size buffer and randomly access elements":
+ * the co-running application used to create LLC contention and to
+ * measure the isolation IDIO provides. The paper shrinks the
+ * antagonist core's MLC to 256 KB so its working set spills into the
+ * LLC; that override lives in HierarchyConfig::mlcSizeOverride.
+ */
+
+#ifndef IDIO_NF_LLC_ANTAGONIST_HH
+#define IDIO_NF_LLC_ANTAGONIST_HH
+
+#include <string>
+
+#include "cpu/core.hh"
+#include "mem/phys_alloc.hh"
+#include "sim/rng.hh"
+#include "sim/sim_object.hh"
+#include "stats/registry.hh"
+
+namespace nf
+{
+
+/** Antagonist tuning. */
+struct AntagonistConfig
+{
+    /** Working-set bytes (default 8 MB: larger than the LLC). */
+    std::uint64_t bufferBytes = 8ull << 20;
+
+    /** Random accesses per atomic step. */
+    std::uint32_t accessesPerStep = 64;
+
+    /** Fraction of accesses that are writes. */
+    double writeFraction = 0.3;
+
+    /** Compute cost per access, ns. */
+    double perAccessCostNs = 2.0;
+};
+
+/**
+ * Random-access LLC thrasher.
+ */
+class LlcAntagonist : public cpu::Workload, public sim::SimObject
+{
+    stats::StatGroup statGroup;
+
+  public:
+    LlcAntagonist(sim::Simulation &simulation, const std::string &name,
+                  cpu::Core &core, mem::PhysAllocator &alloc,
+                  const AntagonistConfig &config);
+
+    /**
+     * Touch the buffer sequentially (outside simulated time) so stats
+     * collection starts from a warm cache, as the paper does.
+     */
+    void warmUp();
+
+    /** Bind to the core and start. */
+    void launch();
+
+    sim::Tick step(cpu::Core &core) override;
+    std::string label() const override { return name(); }
+
+    /**
+     * Mean ticks per access — the CPI proxy the paper's Fig. 10
+     * co-running discussion reports.
+     */
+    double ticksPerAccess() const;
+
+    /** @{ Counters. */
+    stats::Counter accesses;
+    stats::Counter accessTicks;
+    /** @} */
+
+  private:
+    cpu::Core &core;
+    AntagonistConfig cfg;
+    sim::Addr base;
+    std::uint64_t lines;
+    sim::Tick perAccessCost;
+    sim::Rng rng;
+};
+
+} // namespace nf
+
+#endif // IDIO_NF_LLC_ANTAGONIST_HH

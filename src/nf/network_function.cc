@@ -1,0 +1,95 @@
+/**
+ * @file
+ * NetworkFunction implementation.
+ */
+
+#include "network_function.hh"
+
+#include <algorithm>
+
+#include "sim/simulation.hh"
+
+namespace nf
+{
+
+NetworkFunction::NetworkFunction(sim::Simulation &simulation,
+                                 const std::string &name,
+                                 cpu::Core &core, dpdk::RxQueue &rxQueue,
+                                 const NfConfig &config)
+    : sim::SimObject(simulation, name),
+      statGroup(simulation.statsRegistry(), name),
+      packetsProcessed(statGroup, "packetsProcessed",
+                       "packets fully processed"),
+      bytesProcessed(statGroup, "bytesProcessed",
+                     "frame bytes fully processed"),
+      batches(statGroup, "batches", "non-empty RX bursts"),
+      emptyPolls(statGroup, "emptyPolls", "polls that found no packet"),
+      latency(statGroup, "latency",
+              "per-packet NIC-arrival-to-completion latency (ticks)"),
+      rxq(rxQueue), core(core), cfg(config),
+      perPacketCost(sim::nsToTicks(config.perPacketCostNs)),
+      perLineCost(sim::nsToTicks(config.perLineCostNs)),
+      idleGap(sim::nsToTicks(config.idlePollGapNs))
+{
+}
+
+void
+NetworkFunction::launch()
+{
+    rxq.initialArm();
+    core.run(*this);
+}
+
+sim::Tick
+NetworkFunction::step(cpu::Core &c)
+{
+    sim::Tick lat = deferredCost;
+    deferredCost = 0;
+
+    if (pending.empty()) {
+        dpdk::PollResult res = rxq.pollBurst();
+        lat += res.latency;
+        if (res.mbufs.empty()) {
+            ++emptyPolls;
+            return std::max<sim::Tick>(1, lat + idleGap);
+        }
+        ++batches;
+        for (auto idx : res.mbufs)
+            pending.push_back(idx);
+        return std::max<sim::Tick>(1, lat);
+    }
+
+    const std::uint32_t idx = pending.front();
+    pending.pop_front();
+    dpdk::Mbuf &m = rxq.mempool().at(idx);
+
+    lat += perPacketCost;
+    lat += processPacket(c, m);
+
+    ++packetsProcessed;
+    bytesProcessed += m.pktBytes;
+
+    if (!asyncCompletion())
+        lat += completePacket(idx, lat);
+
+    if (pending.empty())
+        lat += rxq.refill();
+
+    return std::max<sim::Tick>(1, lat);
+}
+
+sim::Tick
+NetworkFunction::completePacket(std::uint32_t mbufIdx, sim::Tick accrued)
+{
+    dpdk::Mbuf &m = rxq.mempool().at(mbufIdx);
+    latency.sample(now() + accrued - m.pkt.nicArrival);
+
+    sim::Tick lat = 0;
+    if (invalidateOnComplete() && m.pktBytes > 0)
+        lat += core.invalidate(m.dataAddr, m.pktBytes);
+    lat += core.write(rxq.mempool().freeListSlotAddr(), 1);
+    rxq.mempool().free(mbufIdx);
+    return lat;
+}
+
+} // namespace nf

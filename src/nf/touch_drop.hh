@@ -1,0 +1,40 @@
+/**
+ * @file
+ * TouchDrop network function (paper Table II).
+ *
+ * "Receive packets, touch data, drop packets": the NF reads every
+ * cacheline of the received frame and releases the buffer. It models
+ * the general deep-packet-inspection class whose DMA buffers end up in
+ * the MLC after processing (paper Fig. 3, left).
+ */
+
+#ifndef IDIO_NF_TOUCH_DROP_HH
+#define IDIO_NF_TOUCH_DROP_HH
+
+#include "nf/network_function.hh"
+
+namespace nf
+{
+
+/**
+ * Deep-touching drop NF.
+ */
+class TouchDrop : public NetworkFunction
+{
+  public:
+    using NetworkFunction::NetworkFunction;
+
+  protected:
+    sim::Tick
+    processPacket(cpu::Core &c, dpdk::Mbuf &m) override
+    {
+        // Touch the entire frame, one cacheline at a time.
+        sim::Tick lat = c.read(m.dataAddr, m.pktBytes);
+        lat += perLineCost * mem::linesSpanned(m.dataAddr, m.pktBytes);
+        return lat;
+    }
+};
+
+} // namespace nf
+
+#endif // IDIO_NF_TOUCH_DROP_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * FlowDirector implementation.
+ */
+
+#include "flow_director.hh"
+
+#include "sim/logging.hh"
+
+namespace nic
+{
+
+FlowDirector::FlowDirector(std::uint32_t numCores,
+                           std::uint32_t filterTableEntries)
+    : numCores(numCores), tableSize(filterTableEntries),
+      filterTable(filterTableEntries, -1)
+{
+    if (numCores == 0)
+        sim::fatal("FlowDirector needs at least one core");
+    if (tableSize == 0 || (tableSize & (tableSize - 1)) != 0)
+        sim::fatal("filter table size must be a power of two");
+}
+
+void
+FlowDirector::addRule(const net::FiveTuple &flow, sim::CoreId core)
+{
+    rules[flow] = core;
+}
+
+void
+FlowDirector::removeRule(const net::FiveTuple &flow)
+{
+    rules.erase(flow);
+}
+
+void
+FlowDirector::learn(const net::FiveTuple &flow, sim::CoreId core)
+{
+    filterTable[tableIndex(flow)] = static_cast<std::int32_t>(core);
+}
+
+sim::CoreId
+FlowDirector::lookup(const net::FiveTuple &flow) const
+{
+    auto it = rules.find(flow);
+    if (it != rules.end())
+        return it->second;
+
+    const std::int32_t learned = filterTable[tableIndex(flow)];
+    if (learned >= 0)
+        return static_cast<sim::CoreId>(learned);
+
+    return net::toeplitzHash(flow) % numCores;
+}
+
+std::size_t
+FlowDirector::learnedCount() const
+{
+    std::size_t n = 0;
+    for (auto e : filterTable)
+        n += (e >= 0);
+    return n;
+}
+
+} // namespace nic

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Intel Ethernet Flow Director model (paper Sec. II-C).
+ *
+ * Flow Director steers incoming packets to the core running their
+ * consumer. Two modes are modelled:
+ *
+ *  - EP (Externally Programmed): exact 5-tuple rules installed by the
+ *    administrator ("perfect match" filters).
+ *  - ATR (Application Targeting Routing): a hashed Filter Table (8k
+ *    entries by default) populated by sampling outbound traffic; RX
+ *    lookups hash the 5-tuple and read the learned destination core.
+ *
+ * Packets matching neither fall back to RSS (hash modulo core count).
+ */
+
+#ifndef IDIO_NIC_FLOW_DIRECTOR_HH
+#define IDIO_NIC_FLOW_DIRECTOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/flow.hh"
+#include "sim/types.hh"
+
+namespace nic
+{
+
+/**
+ * Flow-to-core steering table.
+ */
+class FlowDirector
+{
+  public:
+    /**
+     * @param numCores RSS fallback modulus.
+     * @param filterTableEntries ATR table size (power of two).
+     */
+    explicit FlowDirector(std::uint32_t numCores,
+                          std::uint32_t filterTableEntries = 8192);
+
+    /** Install an EP perfect-match rule. */
+    void addRule(const net::FiveTuple &flow, sim::CoreId core);
+
+    /** Remove an EP rule; no-op when absent. */
+    void removeRule(const net::FiveTuple &flow);
+
+    /**
+     * ATR learning: record that @p core transmitted on @p flow, so RX
+     * traffic of the same flow is steered back to it.
+     */
+    void learn(const net::FiveTuple &flow, sim::CoreId core);
+
+    /** Destination core for an RX packet. */
+    sim::CoreId lookup(const net::FiveTuple &flow) const;
+
+    /** Number of installed EP rules. */
+    std::size_t ruleCount() const { return rules.size(); }
+
+    /** Number of populated ATR entries. */
+    std::size_t learnedCount() const;
+
+  private:
+    std::uint32_t
+    tableIndex(const net::FiveTuple &flow) const
+    {
+        return net::toeplitzHash(flow) & (tableSize - 1);
+    }
+
+    std::uint32_t numCores;
+    std::uint32_t tableSize;
+    std::unordered_map<net::FiveTuple, sim::CoreId, net::FiveTupleHash>
+        rules;
+    std::vector<std::int32_t> filterTable; // -1 = unpopulated
+};
+
+} // namespace nic
+
+#endif // IDIO_NIC_FLOW_DIRECTOR_HH

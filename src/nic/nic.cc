@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Nic implementation.
+ */
+
+#include "nic.hh"
+
+#include "sim/simulation.hh"
+
+namespace nic
+{
+
+Nic::Nic(sim::Simulation &simulation, const std::string &name,
+         const NicConfig &config, DmaTarget &target,
+         mem::PhysAllocator &alloc, std::uint32_t numCores)
+    : sim::SimObject(simulation, name),
+      statGroup(simulation.statsRegistry(), name),
+      rxPackets(statGroup, "rxPackets", "packets received at the MAC"),
+      rxBytes(statGroup, "rxBytes", "bytes received at the MAC"),
+      rxDrops(statGroup, "rxDrops",
+              "packets dropped because the RX ring was full"),
+      txPackets(statGroup, "txPackets", "packets transmitted"),
+      txBytes(statGroup, "txBytes", "bytes transmitted"),
+      cfg(config), fdir(numCores),
+      dma(simulation, name + ".dma", target, config.pcieGBps),
+      cls(simulation, name + ".classifier", fdir, config.classifier,
+          numCores),
+      ring(alloc.allocate(std::uint64_t(config.ringSize) * rxDescBytes,
+                          mem::lineSize),
+           config.ringSize),
+      descWbDelay(sim::nsToTicks(config.descWbDelayNs))
+{
+}
+
+void
+Nic::start()
+{
+    cls.start();
+}
+
+void
+Nic::deliver(net::Packet pkt)
+{
+    pkt.nicArrival = now();
+    ++rxPackets;
+    rxBytes += pkt.frameBytes;
+    if (rxTap)
+        rxTap(pkt.nicArrival, pkt);
+
+    if (!ring.hwCanFill()) {
+        ++rxDrops;
+        return;
+    }
+
+    const Classification pktCls = cls.classify(pkt);
+    const std::uint32_t idx = ring.hwClaim(pkt);
+    const RxSlot &slot = ring.slot(idx);
+
+    const std::uint32_t lines = pkt.lines();
+    for (std::uint32_t i = 0; i < lines; ++i) {
+        dma.enqueueWrite(slot.bufAddr + std::uint64_t(i) * mem::lineSize,
+                         cls.tlpFor(pktCls, i == 0));
+    }
+    dma.enqueueCallback([this, idx, pktCls] {
+        startDescriptorWriteback(idx, pktCls);
+    });
+}
+
+void
+Nic::startDescriptorWriteback(std::uint32_t descIdx,
+                              const Classification &pktCls)
+{
+    // Descriptor writeback happens a little after the payload DMA
+    // (hardware batches completions); the descriptor lines are normal
+    // DDIO writes tagged class 0 so they never take the direct-DRAM
+    // path.
+    TlpMeta meta;
+    meta.appClass = 0;
+    meta.isHeader = false;
+    meta.isBurst = pktCls.burstActive;
+    meta.destCore = pktCls.destCore;
+
+    eventq().scheduleIn(descWbDelay, [this, descIdx, meta] {
+        const sim::Addr base = ring.descAddr(descIdx);
+        const std::uint64_t descLines =
+            mem::linesSpanned(base, rxDescBytes);
+        for (std::uint64_t i = 0; i < descLines; ++i) {
+            dma.enqueueWrite(base + i * mem::lineSize, meta);
+        }
+        dma.enqueueCallback([this, descIdx] {
+            ring.hwComplete(descIdx);
+        });
+    });
+}
+
+void
+Nic::transmit(sim::Addr bufAddr, std::uint32_t frameBytes,
+              std::function<void()> txDone)
+{
+    const std::uint64_t lines = mem::linesSpanned(bufAddr, frameBytes);
+    for (std::uint64_t i = 0; i < lines; ++i)
+        dma.enqueueRead(bufAddr + i * mem::lineSize);
+    ++txPackets;
+    txBytes += frameBytes;
+    if (txDone)
+        dma.enqueueCallback(std::move(txDone));
+}
+
+} // namespace nic

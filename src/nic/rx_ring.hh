@@ -1,0 +1,169 @@
+/**
+ * @file
+ * RX descriptor ring shared between the NIC model and the driver.
+ *
+ * Mirrors the hardware contract: software arms descriptors with buffer
+ * addresses and advances the tail; the NIC fills armed descriptors in
+ * order and sets the DD (descriptor done) bit after DMA completes. The
+ * descriptor *memory* (128 B per descriptor, as in the paper) has real
+ * simulated addresses — the NIC writes it via DMA and the driver reads
+ * it through the cache hierarchy, so descriptor traffic shows up in
+ * the cache statistics exactly like the paper's.
+ */
+
+#ifndef IDIO_NIC_RX_RING_HH
+#define IDIO_NIC_RX_RING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace nic
+{
+
+/** Descriptor footprint in memory (paper: 128-byte descriptors). */
+constexpr std::uint32_t rxDescBytes = 128;
+
+/** One RX descriptor slot. */
+struct RxSlot
+{
+    sim::Addr bufAddr = 0;      ///< armed DMA buffer
+    std::uint32_t mbufIdx = 0;  ///< driver cookie (mbuf index)
+    bool armed = false;         ///< SW handed the slot to HW
+    bool inFlight = false;      ///< NIC DMA in progress
+    bool dd = false;            ///< descriptor done (HW -> SW)
+    net::Packet pkt;            ///< packet landed in the buffer
+};
+
+/**
+ * The shared RX ring state.
+ */
+class RxRing
+{
+  public:
+    /**
+     * @param descBase Physical base address of the descriptor array.
+     * @param size Number of descriptors (power of two not required).
+     */
+    RxRing(sim::Addr descBase, std::uint32_t size)
+        : descBase(descBase), slots(size)
+    {
+        SIM_ASSERT(size >= 8, "RX ring too small");
+    }
+
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(slots.size());
+    }
+
+    /** Physical address of descriptor @p idx. */
+    sim::Addr
+    descAddr(std::uint32_t idx) const
+    {
+        return descBase + std::uint64_t(idx) * rxDescBytes;
+    }
+
+    RxSlot &slot(std::uint32_t idx) { return slots[idx]; }
+    const RxSlot &slot(std::uint32_t idx) const { return slots[idx]; }
+
+    /** @{ Hardware side. */
+
+    /** True when the NIC can start filling the next descriptor. */
+    bool
+    hwCanFill() const
+    {
+        const RxSlot &s = slots[hwNext];
+        return s.armed && !s.inFlight && !s.dd;
+    }
+
+    /** Claim the next descriptor for an incoming packet. */
+    std::uint32_t
+    hwClaim(const net::Packet &pkt)
+    {
+        SIM_ASSERT(hwCanFill(), "claiming an unavailable descriptor");
+        const std::uint32_t idx = hwNext;
+        RxSlot &s = slots[idx];
+        s.inFlight = true;
+        s.pkt = pkt;
+        hwNext = (hwNext + 1) % size();
+        return idx;
+    }
+
+    /** Mark DMA complete: DD becomes visible to software. */
+    void
+    hwComplete(std::uint32_t idx)
+    {
+        RxSlot &s = slots[idx];
+        SIM_ASSERT(s.inFlight, "completing a descriptor not in flight");
+        s.inFlight = false;
+        s.dd = true;
+    }
+    /** @} */
+
+    /** @{ Software (driver) side. */
+
+    /** Index of the next descriptor software will examine. */
+    std::uint32_t swHead() const { return swNext; }
+
+    /** True when the next descriptor has completed. */
+    bool swReady() const { return slots[swNext].dd; }
+
+    /** Consume the next completed descriptor. */
+    std::uint32_t
+    swConsume()
+    {
+        SIM_ASSERT(swReady(), "consuming an incomplete descriptor");
+        const std::uint32_t idx = swNext;
+        RxSlot &s = slots[idx];
+        s.dd = false;
+        s.armed = false;
+        swNext = (swNext + 1) % size();
+        return idx;
+    }
+
+    /** Re-arm descriptor @p idx with a fresh buffer. */
+    void
+    swArm(std::uint32_t idx, sim::Addr bufAddr, std::uint32_t mbufIdx)
+    {
+        RxSlot &s = slots[idx];
+        SIM_ASSERT(!s.armed && !s.inFlight && !s.dd,
+                   "re-arming a busy descriptor");
+        s.bufAddr = bufAddr;
+        s.mbufIdx = mbufIdx;
+        s.armed = true;
+    }
+    /** @} */
+
+    /** Armed-and-idle descriptor count (free ring capacity). */
+    std::uint32_t
+    armedCount() const
+    {
+        std::uint32_t n = 0;
+        for (const auto &s : slots)
+            n += (s.armed && !s.inFlight && !s.dd);
+        return n;
+    }
+
+    /** Completed-but-unconsumed descriptor count (backlog). */
+    std::uint32_t
+    backlog() const
+    {
+        std::uint32_t n = 0;
+        for (const auto &s : slots)
+            n += s.dd;
+        return n;
+    }
+
+  private:
+    sim::Addr descBase;
+    std::vector<RxSlot> slots;
+    std::uint32_t hwNext = 0;
+    std::uint32_t swNext = 0;
+};
+
+} // namespace nic
+
+#endif // IDIO_NIC_RX_RING_HH

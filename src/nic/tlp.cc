@@ -1,0 +1,72 @@
+/**
+ * @file
+ * TLP reserved-bit packing.
+ */
+
+#include "tlp.hh"
+
+#include "sim/logging.hh"
+
+namespace nic
+{
+
+namespace
+{
+
+// Bit positions of the 6-bit core field, MSB first: 23, 19..16, 11.
+constexpr int coreBitPositions[6] = {23, 19, 18, 17, 16, 11};
+
+constexpr std::uint32_t headerBit = 1u << 31;
+constexpr std::uint32_t burstBit = 1u << 10;
+
+} // anonymous namespace
+
+std::uint32_t
+encodeTlp(const TlpMeta &meta)
+{
+    std::uint32_t code;
+    if (meta.appClass == 1) {
+        code = appClass1Code;
+    } else {
+        if (meta.destCore >= appClass1Code)
+            sim::fatal("IDIO TLP encoding supports at most %u cores",
+                       appClass1Code);
+        code = meta.destCore;
+    }
+
+    std::uint32_t dw0 = 0;
+    for (int i = 0; i < 6; ++i) {
+        if (code & (1u << (5 - i)))
+            dw0 |= 1u << coreBitPositions[i];
+    }
+    if (meta.isHeader)
+        dw0 |= headerBit;
+    if (meta.isBurst)
+        dw0 |= burstBit;
+    return dw0;
+}
+
+TlpMeta
+decodeTlp(std::uint32_t dw0)
+{
+    std::uint32_t code = 0;
+    for (int i = 0; i < 6; ++i) {
+        code <<= 1;
+        if (dw0 & (1u << coreBitPositions[i]))
+            code |= 1;
+    }
+
+    TlpMeta meta;
+    meta.isHeader = (dw0 & headerBit) != 0;
+    meta.isBurst = (dw0 & burstBit) != 0;
+    if (code == appClass1Code) {
+        meta.appClass = 1;
+        meta.destCore = 0;
+    } else {
+        meta.appClass = 0;
+        meta.destCore = code;
+    }
+    return meta;
+}
+
+} // namespace nic

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * PCIe TLP metadata encoding (paper Fig. 7).
+ *
+ * The IDIO classifier embeds per-packet steering metadata into the
+ * reserved bits of the PCIe TLP header's first doubleword:
+ *
+ *  - bit 31: isHeader (this DMA write carries the packet's first,
+ *    header-bearing cacheline)
+ *  - bit 23, bits 19:16, bit 11: 6-bit destination core number
+ *    (MSB..LSB); all six bits set (63) encodes application class 1
+ *  - bit 10: isBurst (an RX burst is in progress for the target core)
+ *
+ * IDIO therefore supports up to 63 cores.
+ */
+
+#ifndef IDIO_NIC_TLP_HH
+#define IDIO_NIC_TLP_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace nic
+{
+
+/** Core-number encoding that signals application class 1. */
+constexpr std::uint32_t appClass1Code = 63;
+
+/** Decoded steering metadata of one DMA write TLP. */
+struct TlpMeta
+{
+    std::uint8_t appClass = 0; ///< 0 = short use distance, 1 = long
+    bool isHeader = false;
+    bool isBurst = false;
+    sim::CoreId destCore = 0;
+
+    bool operator==(const TlpMeta &) const = default;
+};
+
+/**
+ * Pack metadata into the reserved bits of TLP header DW0.
+ * Only the reserved bits are produced; the caller ORs the result into
+ * the real DW0 (which is all zeroes in this model).
+ */
+std::uint32_t encodeTlp(const TlpMeta &meta);
+
+/** Recover metadata from TLP header DW0 reserved bits. */
+TlpMeta decodeTlp(std::uint32_t dw0);
+
+} // namespace nic
+
+#endif // IDIO_NIC_TLP_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * EventQueue implementation.
+ */
+
+#include "event_queue.hh"
+
+namespace sim
+{
+
+Event::~Event()
+{
+    // An Event must be descheduled before destruction; the queue holds
+    // only a raw pointer. Destruction while scheduled is a programming
+    // error in release builds too, but we cannot safely touch the queue
+    // here, so we just flag it.
+    if (_scheduled)
+        panic("event destroyed while scheduled");
+}
+
+EventQueue::~EventQueue()
+{
+    // Drop remaining entries, freeing owned lambda events.
+    while (!heap.empty()) {
+        Entry e = heap.top();
+        heap.pop();
+        if (e.owned) {
+            e.ev->_scheduled = false;
+            delete e.ev;
+        } else if (e.ev->_scheduled && e.ev->_seq == e.seq) {
+            e.ev->_scheduled = false;
+        }
+    }
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    if (ev->_scheduled)
+        panic("event '%s' scheduled twice", ev->name().c_str());
+    if (when < curTick)
+        panic("event '%s' scheduled in the past (%llu < %llu)",
+              ev->name().c_str(), (unsigned long long)when,
+              (unsigned long long)curTick);
+
+    ev->_scheduled = true;
+    ev->_when = when;
+    ev->_seq = nextSeq;
+    heap.push(Entry{when, nextSeq++, ev, false});
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    if (!ev->_scheduled)
+        panic("descheduling unscheduled event '%s'", ev->name().c_str());
+    ev->_scheduled = false;
+    ++squashedCount;
+}
+
+void
+EventQueue::schedule(Tick when, std::function<void()> fn)
+{
+    if (when < curTick)
+        panic("lambda event scheduled in the past (%llu < %llu)",
+              (unsigned long long)when, (unsigned long long)curTick);
+    auto *ev = new LambdaEvent(std::move(fn));
+    ev->_scheduled = true;
+    ev->_when = when;
+    ev->_seq = nextSeq;
+    heap.push(Entry{when, nextSeq++, ev, true});
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    std::uint64_t processed = 0;
+    while (!heap.empty()) {
+        const Entry &top = heap.top();
+
+        // Skip squashed (descheduled or rescheduled) entries.
+        if (!top.owned &&
+            (!top.ev->_scheduled || top.ev->_seq != top.seq)) {
+            heap.pop();
+            --squashedCount;
+            continue;
+        }
+
+        if (top.when > limit)
+            break;
+
+        Entry e = top;
+        heap.pop();
+        curTick = e.when;
+        e.ev->_scheduled = false;
+        e.ev->process();
+        if (e.owned)
+            delete e.ev;
+        ++processed;
+        ++nProcessed;
+    }
+    if (curTick < limit && limit != maxTick)
+        curTick = limit;
+    return processed;
+}
+
+} // namespace sim

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The EventQueue keeps a priority queue of (tick, sequence, callback)
+ * entries. Events scheduled for the same tick fire in insertion order,
+ * which makes simulations fully deterministic. Components either
+ * schedule one-shot std::function callbacks or derive from Event for
+ * reschedulable events (e.g.\ periodic control-plane sampling).
+ */
+
+#ifndef IDIO_SIM_EVENT_QUEUE_HH
+#define IDIO_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace sim
+{
+
+class EventQueue;
+
+/**
+ * A reschedulable event. The owner keeps the Event alive while it is
+ * scheduled; the queue holds a non-owning pointer.
+ */
+class Event
+{
+  public:
+    virtual ~Event();
+
+    /** Invoked by the queue when simulated time reaches the event. */
+    virtual void process() = 0;
+
+    /** Human-readable name for tracing. */
+    virtual std::string name() const { return "anon-event"; }
+
+    /** True while the event sits in a queue. */
+    bool scheduled() const { return _scheduled; }
+
+    /** Tick the event is scheduled for (valid only while scheduled). */
+    Tick when() const { return _when; }
+
+  private:
+    friend class EventQueue;
+
+    bool _scheduled = false;
+    Tick _when = 0;
+    std::uint64_t _seq = 0; // identifies the live heap entry
+};
+
+/**
+ * Wraps a std::function as a one-shot heap event; used by
+ * EventQueue::schedule(Tick, callback).
+ */
+class LambdaEvent : public Event
+{
+  public:
+    explicit LambdaEvent(std::function<void()> fn) : fn(std::move(fn)) {}
+
+    void process() override { fn(); }
+    std::string name() const override { return "lambda-event"; }
+
+  private:
+    std::function<void()> fn;
+};
+
+/**
+ * The central event queue and time base for one Simulation.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+    ~EventQueue();
+
+    /** Current simulated time. */
+    Tick now() const { return curTick; }
+
+    /**
+     * Schedule a reschedulable event at an absolute tick.
+     * The event must not already be scheduled.
+     */
+    void schedule(Event *ev, Tick when);
+
+    /** Remove a scheduled event from the queue. */
+    void deschedule(Event *ev);
+
+    /** Schedule @p ev at now() + @p delta. */
+    void scheduleIn(Event *ev, Tick delta) { schedule(ev, now() + delta); }
+
+    /** Schedule a one-shot callback at an absolute tick. */
+    void schedule(Tick when, std::function<void()> fn);
+
+    /** Schedule a one-shot callback at now() + delta. */
+    void
+    scheduleIn(Tick delta, std::function<void()> fn)
+    {
+        schedule(now() + delta, std::move(fn));
+    }
+
+    /** Number of events currently pending. */
+    std::size_t pending() const { return heap.size() - squashedCount; }
+
+    /** True if no events remain. */
+    bool empty() const { return pending() == 0; }
+
+    /**
+     * Run until the queue drains or simulated time would pass @p limit.
+     * Events scheduled exactly at @p limit still fire.
+     *
+     * @return number of events processed.
+     */
+    std::uint64_t runUntil(Tick limit);
+
+    /** Run until the queue drains completely. */
+    std::uint64_t run() { return runUntil(maxTick); }
+
+    /** Total events processed over the queue's lifetime. */
+    std::uint64_t processedEvents() const { return nProcessed; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Event *ev;
+        bool owned; // heap-allocated LambdaEvent we must delete
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    using Heap = std::priority_queue<Entry, std::vector<Entry>,
+                                     std::greater<Entry>>;
+
+    Heap heap;
+    Tick curTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t nProcessed = 0;
+    std::size_t squashedCount = 0;
+};
+
+} // namespace sim
+
+#endif // IDIO_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Implementation of the status/error reporting helpers.
+ */
+
+#include "logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sim
+{
+
+namespace
+{
+
+LogLevel gLevel = LogLevel::Inform;
+
+void
+vprint(std::FILE *out, const char *prefix, const char *fmt, va_list ap)
+{
+    std::fprintf(out, "%s", prefix);
+    std::vfprintf(out, fmt, ap);
+    std::fprintf(out, "\n");
+}
+
+} // anonymous namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    gLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return gLevel;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (gLevel < LogLevel::Inform)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vprint(stdout, "info: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (gLevel < LogLevel::Warn)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vprint(stderr, "warn: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+debug(const char *fmt, ...)
+{
+    if (gLevel < LogLevel::Debug)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vprint(stdout, "debug: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vprint(stderr, "fatal: ", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vprint(stderr, "panic: ", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+} // namespace sim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Status and error reporting in the style of gem5's base/logging.hh.
+ *
+ * fatal() terminates the simulation for user errors (bad configuration),
+ * panic() aborts for internal invariant violations, warn()/inform() print
+ * status without stopping. All helpers accept printf-style formatting.
+ */
+
+#ifndef IDIO_SIM_LOGGING_HH
+#define IDIO_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace sim
+{
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel
+{
+    Panic = 0,
+    Fatal,
+    Warn,
+    Inform,
+    Debug,
+};
+
+/** Set the maximum level that is printed (default: Inform). */
+void setLogLevel(LogLevel level);
+
+/** Current maximum printed level. */
+LogLevel logLevel();
+
+/**
+ * Print an informational message to stdout. Safe to call from anywhere;
+ * never terminates the program.
+ */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; the simulation continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a debug message (suppressed unless LogLevel::Debug). */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable *user* error (bad configuration or arguments)
+ * and exit with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal simulator bug (a condition that must never happen
+ * regardless of user input) and abort().
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** panic() unless the condition holds; msg is a plain string literal. */
+#define SIM_ASSERT(cond, msg)                                            \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::sim::panic("assertion '%s' failed at %s:%d: %s",           \
+                         #cond, __FILE__, __LINE__, msg);                 \
+        }                                                                 \
+    } while (0)
+
+} // namespace sim
+
+#endif // IDIO_SIM_LOGGING_HH

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Out-of-line Rng members.
+ */
+
+#include "rng.hh"
+
+#include <cmath>
+
+namespace sim
+{
+
+double
+Rng::exponential(double mean)
+{
+    // Avoid log(0); uniform() is in [0, 1).
+    double u = 1.0 - uniform();
+    return -mean * std::log(u);
+}
+
+} // namespace sim

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * SimObject implementation.
+ */
+
+#include "sim_object.hh"
+
+#include "simulation.hh"
+
+namespace sim
+{
+
+SimObject::SimObject(Simulation &simulation, std::string name)
+    : sim(simulation), _name(std::move(name))
+{
+}
+
+EventQueue &
+SimObject::eventq() const
+{
+    return sim.eventq();
+}
+
+Tick
+SimObject::now() const
+{
+    return sim.now();
+}
+
+} // namespace sim

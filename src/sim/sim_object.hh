@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Named simulation components.
+ *
+ * Every model in the system (caches, NIC, cores, IDIO controller...)
+ * derives from SimObject. The object records a dotted hierarchical name
+ * ("system.llc", "system.core0.mlc") used for stat registration and
+ * tracing, and keeps a reference to the Simulation it belongs to.
+ */
+
+#ifndef IDIO_SIM_SIM_OBJECT_HH
+#define IDIO_SIM_SIM_OBJECT_HH
+
+#include <string>
+#include <utility>
+
+#include "types.hh"
+
+namespace sim
+{
+
+class Simulation;
+class EventQueue;
+
+/**
+ * Base class for all named simulation components.
+ */
+class SimObject
+{
+  public:
+    /**
+     * @param simulation Owning simulation context.
+     * @param name Dotted hierarchical instance name.
+     */
+    SimObject(Simulation &simulation, std::string name);
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    /** Instance name, e.g.\ "system.core0.mlc". */
+    const std::string &name() const { return _name; }
+
+    /** Owning simulation. */
+    Simulation &simulation() const { return sim; }
+
+    /** Event queue shorthand. */
+    EventQueue &eventq() const;
+
+    /** Current simulated time shorthand. */
+    Tick now() const;
+
+  protected:
+    Simulation &sim;
+
+  private:
+    std::string _name;
+};
+
+} // namespace sim
+
+#endif // IDIO_SIM_SIM_OBJECT_HH

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Simulation context implementation.
+ */
+
+#include "simulation.hh"
+
+#include <functional>
+
+#include "stats/registry.hh"
+
+namespace sim
+{
+
+Simulation::Simulation(std::uint64_t seed)
+    : rootRng(seed), seed(seed),
+      statsReg(std::make_unique<stats::Registry>())
+{
+}
+
+Simulation::~Simulation() = default;
+
+Rng
+Simulation::deriveRng(const std::string &component) const
+{
+    const std::uint64_t h = std::hash<std::string>{}(component);
+    return Rng(seed * 0x9e3779b97f4a7c15ULL ^ h);
+}
+
+} // namespace sim

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Top-level simulation context.
+ *
+ * A Simulation owns the EventQueue, the stats registry, and the global
+ * RNG seed. Experiment harnesses create one Simulation, build the system
+ * model inside it, and call run()/runFor().
+ */
+
+#ifndef IDIO_SIM_SIMULATION_HH
+#define IDIO_SIM_SIMULATION_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "event_queue.hh"
+#include "rng.hh"
+#include "types.hh"
+
+namespace stats
+{
+class Registry;
+}
+
+namespace sim
+{
+
+/**
+ * Owns the event queue, stats registry and RNG for one simulated system.
+ */
+class Simulation
+{
+  public:
+    explicit Simulation(std::uint64_t seed = 1);
+    ~Simulation();
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    /** The central event queue / time base. */
+    EventQueue &eventq() { return queue; }
+    const EventQueue &eventq() const { return queue; }
+
+    /** Current simulated time. */
+    Tick now() const { return queue.now(); }
+
+    /** Stats registry for all SimObjects in this simulation. */
+    stats::Registry &statsRegistry() { return *statsReg; }
+
+    /** Root RNG; components derive their own via deriveRng(). */
+    Rng &rng() { return rootRng; }
+
+    /**
+     * Create an independent deterministic RNG for a component, derived
+     * from the root seed and the component name hash.
+     */
+    Rng deriveRng(const std::string &component) const;
+
+    /** Run until the event queue drains or @p limit is reached. */
+    std::uint64_t runUntil(Tick limit) { return queue.runUntil(limit); }
+
+    /** Run for @p delta more simulated time. */
+    std::uint64_t
+    runFor(Tick delta)
+    {
+        return queue.runUntil(queue.now() + delta);
+    }
+
+  private:
+    EventQueue queue;
+    Rng rootRng;
+    std::uint64_t seed;
+    std::unique_ptr<stats::Registry> statsReg;
+};
+
+} // namespace sim
+
+#endif // IDIO_SIM_SIMULATION_HH

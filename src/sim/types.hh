@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fundamental simulation types and time-unit constants.
+ *
+ * The simulator follows the gem5 convention of an integer global time
+ * base measured in Ticks, where one Tick equals one picosecond. All
+ * latency and bandwidth parameters are converted into Ticks at
+ * configuration time so the hot simulation paths only perform integer
+ * arithmetic.
+ */
+
+#ifndef IDIO_SIM_TYPES_HH
+#define IDIO_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace sim
+{
+
+/** Simulated time. One Tick is one picosecond. */
+using Tick = std::uint64_t;
+
+/** Signed tick difference, for interval arithmetic. */
+using TickDelta = std::int64_t;
+
+/** A tick value that compares greater than any schedulable time. */
+constexpr Tick maxTick = ~Tick(0);
+
+/** @{ Time-unit conversion constants (all expressed in Ticks). */
+constexpr Tick onePs = 1;
+constexpr Tick oneNs = 1000 * onePs;
+constexpr Tick oneUs = 1000 * oneNs;
+constexpr Tick oneMs = 1000 * oneUs;
+constexpr Tick oneSec = 1000 * oneMs;
+/** @} */
+
+/** Convert a tick count to (double) seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(oneSec);
+}
+
+/** Convert a tick count to (double) microseconds. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(oneUs);
+}
+
+/** Convert (double) nanoseconds to Ticks, rounding to nearest. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(oneNs) + 0.5);
+}
+
+/**
+ * Number of ticks per cycle for a clock of the given frequency.
+ *
+ * @param ghz Clock frequency in GHz.
+ */
+constexpr Tick
+cyclePeriod(double ghz)
+{
+    return static_cast<Tick>(1000.0 / ghz + 0.5);
+}
+
+/** Physical (simulated) memory address. */
+using Addr = std::uint64_t;
+
+/** Identifier of a physical core. */
+using CoreId = std::uint32_t;
+
+/** Sentinel meaning "no core" / broadcast. */
+constexpr CoreId invalidCore = ~CoreId(0);
+
+} // namespace sim
+
+#endif // IDIO_SIM_TYPES_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Histogram implementation.
+ */
+
+#include "histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stats
+{
+
+Histogram::Histogram(StatGroup &group, std::string name, std::string desc,
+                     double min, double max, std::size_t numBuckets)
+    : Stat(group, std::move(name), std::move(desc)), lo(min), hi(max),
+      bucketWidth((max - min) / static_cast<double>(numBuckets)),
+      counts(numBuckets + 2, 0)
+{
+}
+
+void
+Histogram::sample(double v)
+{
+    if (n == 0) {
+        sampleMin = v;
+        sampleMax = v;
+    } else {
+        sampleMin = std::min(sampleMin, v);
+        sampleMax = std::max(sampleMax, v);
+    }
+    ++n;
+    sum += v;
+
+    std::size_t idx;
+    if (v < lo) {
+        idx = 0;
+    } else if (v >= hi) {
+        idx = counts.size() - 1;
+    } else {
+        idx = 1 + static_cast<std::size_t>((v - lo) / bucketWidth);
+        idx = std::min(idx, counts.size() - 2);
+    }
+    ++counts[idx];
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (n == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(n);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const double c = static_cast<double>(counts[i]);
+        if (cum + c >= target && c > 0) {
+            if (i == 0)
+                return sampleMin;
+            if (i == counts.size() - 1)
+                return sampleMax;
+            const double bucketLo =
+                lo + static_cast<double>(i - 1) * bucketWidth;
+            const double frac = (target - cum) / c;
+            return bucketLo + frac * bucketWidth;
+        }
+        cum += c;
+    }
+    return sampleMax;
+}
+
+void
+Histogram::print(std::ostream &os) const
+{
+    os << name() << ": n=" << n << " mean=" << mean()
+       << " min=" << sampleMin << " max=" << sampleMax << "\n";
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts.begin(), counts.end(), 0);
+    n = 0;
+    sum = 0.0;
+    sampleMin = 0.0;
+    sampleMax = 0.0;
+}
+
+} // namespace stats

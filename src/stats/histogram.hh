@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Bucketed distribution statistics.
+ */
+
+#ifndef IDIO_STATS_HISTOGRAM_HH
+#define IDIO_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "stat.hh"
+
+namespace stats
+{
+
+/**
+ * Fixed-width linear histogram over [min, max). Samples outside the
+ * range land in underflow/overflow buckets. value() reports the mean.
+ */
+class Histogram : public Stat
+{
+  public:
+    /**
+     * @param group Owning stat group.
+     * @param name Stat name.
+     * @param desc Description.
+     * @param min Inclusive lower bound of the bucketed range.
+     * @param max Exclusive upper bound of the bucketed range.
+     * @param numBuckets Number of equal-width buckets.
+     */
+    Histogram(StatGroup &group, std::string name, std::string desc,
+              double min, double max, std::size_t numBuckets);
+
+    /** Record one sample. */
+    void sample(double v);
+
+    /** Number of recorded samples. */
+    std::uint64_t count() const { return n; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+
+    /** Minimum recorded sample (undefined when empty). */
+    double minSample() const { return sampleMin; }
+
+    /** Maximum recorded sample (undefined when empty). */
+    double maxSample() const { return sampleMax; }
+
+    /** Bucket counts, including [0]=underflow and [last]=overflow. */
+    const std::vector<std::uint64_t> &buckets() const { return counts; }
+
+    /**
+     * Approximate quantile via linear interpolation within the bucket
+     * containing the target rank. @p q in [0, 1].
+     */
+    double quantile(double q) const;
+
+    /** Print a compact textual rendering. */
+    void print(std::ostream &os) const;
+
+    double value() const override { return mean(); }
+    void reset() override;
+
+  private:
+    double lo;
+    double hi;
+    double bucketWidth;
+    std::vector<std::uint64_t> counts; // under + buckets + over
+    std::uint64_t n = 0;
+    double sum = 0.0;
+    double sampleMin = 0.0;
+    double sampleMax = 0.0;
+};
+
+} // namespace stats
+
+#endif // IDIO_STATS_HISTOGRAM_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * JSON export implementation.
+ */
+
+#include "json.hh"
+
+#include <cmath>
+
+namespace stats
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+void
+writeNumber(std::ostream &os, double v)
+{
+    // JSON has no NaN/Inf; map them to null.
+    if (std::isfinite(v)) {
+        // Integers print exactly; everything else with precision.
+        if (v == std::floor(v) && std::abs(v) < 1e15) {
+            os << static_cast<long long>(v);
+        } else {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.9g", v);
+            os << buf;
+        }
+    } else {
+        os << "null";
+    }
+}
+
+} // anonymous namespace
+
+void
+writeJson(std::ostream &os, const Registry &registry)
+{
+    os << "{\"groups\":{";
+    bool firstGroup = true;
+    for (const StatGroup *g : registry.groups()) {
+        if (!firstGroup)
+            os << ",";
+        firstGroup = false;
+        os << "\"" << jsonEscape(g->name()) << "\":{";
+        bool firstStat = true;
+        for (const Stat *s : g->statList()) {
+            if (!firstStat)
+                os << ",";
+            firstStat = false;
+            os << "\"" << jsonEscape(s->name()) << "\":";
+            writeNumber(os, s->value());
+        }
+        os << "}";
+    }
+    os << "}}";
+}
+
+void
+writeJson(std::ostream &os, const std::vector<const Series *> &series)
+{
+    os << "{\"series\":{";
+    bool firstSeries = true;
+    for (const Series *s : series) {
+        if (!firstSeries)
+            os << ",";
+        firstSeries = false;
+        os << "\"" << jsonEscape(s->name()) << "\":[";
+        bool firstPt = true;
+        for (const auto &pt : s->points()) {
+            if (!firstPt)
+                os << ",";
+            firstPt = false;
+            os << "[";
+            writeNumber(os, sim::ticksToUs(pt.when));
+            os << ",";
+            writeNumber(os, pt.value);
+            os << "]";
+        }
+        os << "]";
+    }
+    os << "}}";
+}
+
+} // namespace stats

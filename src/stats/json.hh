@@ -1,0 +1,41 @@
+/**
+ * @file
+ * JSON export of the statistics registry.
+ *
+ * Machine-readable companion to Registry::dump(): emits one JSON
+ * object per stat group so external tooling (plotting scripts, CI
+ * regression checks) can consume simulation results without parsing
+ * the human-oriented table output.
+ */
+
+#ifndef IDIO_STATS_JSON_HH
+#define IDIO_STATS_JSON_HH
+
+#include <ostream>
+#include <string>
+
+#include "stats/registry.hh"
+#include "stats/series.hh"
+
+namespace stats
+{
+
+/** Escape a string for embedding in a JSON document. */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Write the whole registry as a JSON object:
+ * {"groups": {"<group>": {"<stat>": value, ...}, ...}}
+ */
+void writeJson(std::ostream &os, const Registry &registry);
+
+/**
+ * Write a set of time series as JSON:
+ * {"series": {"<name>": [[time_us, value], ...], ...}}
+ */
+void writeJson(std::ostream &os,
+               const std::vector<const Series *> &series);
+
+} // namespace stats
+
+#endif // IDIO_STATS_JSON_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * LatencyRecorder implementation.
+ */
+
+#include "latency_recorder.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stats
+{
+
+void
+LatencyRecorder::ensureSorted() const
+{
+    if (!sorted) {
+        std::sort(samples.begin(), samples.end());
+        sorted = true;
+    }
+}
+
+std::uint64_t
+LatencyRecorder::percentile(double p) const
+{
+    if (samples.empty())
+        return 0;
+    ensureSorted();
+    p = std::clamp(p, 0.0, 100.0);
+    // Nearest-rank: the smallest value with at least ceil(p/100 * n)
+    // samples at or below it.
+    const auto n = samples.size();
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    return samples[rank - 1];
+}
+
+double
+LatencyRecorder::mean() const
+{
+    if (samples.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (auto s : samples)
+        sum += static_cast<double>(s);
+    return sum / static_cast<double>(samples.size());
+}
+
+std::uint64_t
+LatencyRecorder::maxSample() const
+{
+    if (samples.empty())
+        return 0;
+    ensureSorted();
+    return samples.back();
+}
+
+} // namespace stats

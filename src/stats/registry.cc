@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Registry / StatGroup implementation.
+ */
+
+#include "registry.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace stats
+{
+
+Stat::Stat(StatGroup &group, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    group.add(this);
+}
+
+StatGroup::StatGroup(Registry &registry, std::string name)
+    : registry(registry), _name(std::move(name))
+{
+    registry.add(this);
+}
+
+StatGroup::~StatGroup()
+{
+    registry.remove(this);
+}
+
+Stat *
+StatGroup::find(const std::string &statName) const
+{
+    for (Stat *s : statsVec) {
+        if (s->name() == statName)
+            return s;
+    }
+    return nullptr;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Stat *s : statsVec)
+        s->reset();
+}
+
+StatGroup *
+Registry::findGroup(const std::string &name) const
+{
+    for (StatGroup *g : groupsVec) {
+        if (g->name() == name)
+            return g;
+    }
+    return nullptr;
+}
+
+Stat *
+Registry::findStat(const std::string &path) const
+{
+    auto dot = path.rfind('.');
+    if (dot == std::string::npos)
+        return nullptr;
+    StatGroup *g = findGroup(path.substr(0, dot));
+    return g ? g->find(path.substr(dot + 1)) : nullptr;
+}
+
+void
+Registry::resetAll()
+{
+    for (StatGroup *g : groupsVec)
+        g->resetAll();
+}
+
+void
+Registry::dump(std::ostream &os) const
+{
+    for (const StatGroup *g : groupsVec) {
+        for (const Stat *s : g->statList()) {
+            os << std::left << std::setw(48)
+               << (g->name() + "." + s->name()) << " "
+               << std::setw(16) << s->value() << " # " << s->desc()
+               << "\n";
+        }
+    }
+}
+
+void
+Registry::forEach(
+    const std::function<void(const StatGroup &, const Stat &)> &fn) const
+{
+    for (const StatGroup *g : groupsVec) {
+        for (const Stat *s : g->statList())
+            fn(*g, *s);
+    }
+}
+
+void
+Registry::remove(StatGroup *g)
+{
+    groupsVec.erase(std::remove(groupsVec.begin(), groupsVec.end(), g),
+                    groupsVec.end());
+}
+
+} // namespace stats

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Registry and grouping of statistics.
+ *
+ * A Registry holds one StatGroup per SimObject; a StatGroup holds
+ * non-owning pointers to the Stat members declared inside the object.
+ * Harnesses use the registry to enumerate, reset, and dump all stats.
+ */
+
+#ifndef IDIO_STATS_REGISTRY_HH
+#define IDIO_STATS_REGISTRY_HH
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stat.hh"
+
+namespace stats
+{
+
+class Registry;
+
+/**
+ * Collection of statistics belonging to one component.
+ *
+ * The group registers itself with the Registry on construction and
+ * unregisters on destruction; Stat members register with their group.
+ */
+class StatGroup
+{
+  public:
+    /**
+     * @param registry Owning registry.
+     * @param name Component instance name (dotted path).
+     */
+    StatGroup(Registry &registry, std::string name);
+    ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Component name this group belongs to. */
+    const std::string &name() const { return _name; }
+
+    /** Stats registered in declaration order. */
+    const std::vector<Stat *> &statList() const { return statsVec; }
+
+    /** Look up a stat by short name; nullptr if absent. */
+    Stat *find(const std::string &statName) const;
+
+    /** Reset every stat in the group. */
+    void resetAll();
+
+  private:
+    friend class Stat;
+
+    void add(Stat *s) { statsVec.push_back(s); }
+
+    Registry &registry;
+    std::string _name;
+    std::vector<Stat *> statsVec;
+};
+
+/**
+ * Flat registry of all StatGroups in one simulation.
+ */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /** All currently live groups. */
+    const std::vector<StatGroup *> &groups() const { return groupsVec; }
+
+    /** Find a group by exact component name; nullptr if absent. */
+    StatGroup *findGroup(const std::string &name) const;
+
+    /**
+     * Find a stat by "component.stat" dotted path.
+     * @return nullptr when either part does not resolve.
+     */
+    Stat *findStat(const std::string &path) const;
+
+    /** Reset every stat in every group. */
+    void resetAll();
+
+    /** Dump "group.stat value  # desc" lines. */
+    void dump(std::ostream &os) const;
+
+    /** Visit every (group, stat) pair. */
+    void forEach(
+        const std::function<void(const StatGroup &, const Stat &)> &fn)
+        const;
+
+  private:
+    friend class StatGroup;
+
+    void add(StatGroup *g) { groupsVec.push_back(g); }
+    void remove(StatGroup *g);
+
+    std::vector<StatGroup *> groupsVec;
+};
+
+} // namespace stats
+
+#endif // IDIO_STATS_REGISTRY_HH

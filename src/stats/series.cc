@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Series implementation.
+ */
+
+#include "series.hh"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace stats
+{
+
+double
+Series::peak() const
+{
+    double p = 0.0;
+    for (const auto &pt : pts)
+        p = std::max(p, pt.value);
+    return p;
+}
+
+double
+Series::mean() const
+{
+    if (pts.empty())
+        return 0.0;
+    return sum() / static_cast<double>(pts.size());
+}
+
+double
+Series::sum() const
+{
+    double s = 0.0;
+    for (const auto &pt : pts)
+        s += pt.value;
+    return s;
+}
+
+void
+writeCsv(std::ostream &os, const std::vector<const Series *> &series)
+{
+    os << "time_us";
+    for (const Series *s : series)
+        os << "," << s->name();
+    os << "\n";
+
+    // Merge on the time axis.
+    std::map<sim::Tick, std::vector<double>> rows;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        for (const auto &pt : series[i]->points()) {
+            auto &row = rows[pt.when];
+            row.resize(series.size(),
+                       std::numeric_limits<double>::quiet_NaN());
+            row[i] = pt.value;
+        }
+    }
+
+    for (const auto &[when, row] : rows) {
+        os << sim::ticksToUs(when);
+        for (std::size_t i = 0; i < series.size(); ++i) {
+            os << ",";
+            if (i < row.size() && row[i] == row[i]) // not NaN
+                os << row[i];
+        }
+        os << "\n";
+    }
+}
+
+} // namespace stats

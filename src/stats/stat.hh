@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Scalar statistics: counters and gauges.
+ *
+ * Stats are plain in-memory objects registered with a StatGroup so
+ * experiment harnesses can enumerate and dump them. Counters are the
+ * backbone of the reproduction: every cache/DRAM/NIC event of interest
+ * increments one, and the figure harnesses sample them periodically to
+ * build the paper's timelines.
+ */
+
+#ifndef IDIO_STATS_STAT_HH
+#define IDIO_STATS_STAT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace stats
+{
+
+class StatGroup;
+
+/**
+ * Common base for named statistics.
+ */
+class Stat
+{
+  public:
+    Stat(StatGroup &group, std::string name, std::string desc);
+    virtual ~Stat() = default;
+
+    Stat(const Stat &) = delete;
+    Stat &operator=(const Stat &) = delete;
+
+    /** Short name within the owning group. */
+    const std::string &name() const { return _name; }
+
+    /** One-line description. */
+    const std::string &desc() const { return _desc; }
+
+    /** Current value as a double (for generic dumping). */
+    virtual double value() const = 0;
+
+    /** Reset to the initial state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/**
+ * Monotonically increasing 64-bit event counter.
+ */
+class Counter : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    /** Increment by one. */
+    Counter &operator++()
+    {
+        ++count;
+        return *this;
+    }
+
+    /** Increment by @p n. */
+    Counter &operator+=(std::uint64_t n)
+    {
+        count += n;
+        return *this;
+    }
+
+    /** Raw count. */
+    std::uint64_t get() const { return count; }
+
+    double value() const override { return static_cast<double>(count); }
+    void reset() override { count = 0; }
+
+  private:
+    std::uint64_t count = 0;
+};
+
+/**
+ * A settable floating-point statistic (e.g.\ a configured parameter or a
+ * derived metric recorded at the end of a run).
+ */
+class Gauge : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    /** Set the current value. */
+    void set(double v) { val = v; }
+
+    double value() const override { return val; }
+    void reset() override { val = 0.0; }
+
+  private:
+    double val = 0.0;
+};
+
+} // namespace stats
+
+#endif // IDIO_STATS_STAT_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared fixture for MemoryHierarchy tests: a deliberately tiny
+ * two-core hierarchy so capacity effects are easy to trigger, plus
+ * helpers for constructing the paper's P1..P5 line placements.
+ */
+
+#ifndef IDIO_TESTS_CACHE_HIERARCHY_FIXTURE_HH
+#define IDIO_TESTS_CACHE_HIERARCHY_FIXTURE_HH
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "sim/simulation.hh"
+
+namespace testutil
+{
+
+/** Tiny geometry: L1 512 B/2w, MLC 2 KB/4w, LLC 8 KB/4w (2 DDIO). */
+inline cache::HierarchyConfig
+tinyConfig(std::uint32_t cores = 2)
+{
+    cache::HierarchyConfig cfg;
+    cfg.numCores = cores;
+    cfg.l1 = {512, 2, 2};
+    cfg.mlc = {2048, 4, 12};
+    cfg.llcPerCore = {8192 / cores, 4, 24};
+    cfg.ddioWays = 2;
+    cfg.directoryCoverage = 2.0;
+    cfg.directoryAssoc = 4;
+    return cfg;
+}
+
+class HierarchyTest : public ::testing::Test
+{
+  protected:
+    HierarchyTest() : hier(sim_, "sys", testutil::tinyConfig()) {}
+
+    explicit HierarchyTest(const cache::HierarchyConfig &cfg)
+        : hier(sim_, "sys", cfg)
+    {
+    }
+
+    /** Way index of @p addr in the LLC, or -1 when absent. */
+    int
+    llcWayOf(sim::Addr addr)
+    {
+        auto ref = hier.llc().probe(addr);
+        return ref ? static_cast<int>(ref.way) : -1;
+    }
+
+    /** Fill core @p c 's MLC with fresh lines so @p addr is evicted. */
+    void
+    churnMlc(sim::CoreId c, sim::Addr base = 0x40000000)
+    {
+        const auto lines =
+            hier.config().mlcSize(c) / mem::lineSize;
+        for (std::uint64_t i = 0; i < 2 * lines; ++i)
+            hier.coreRead(c, base + i * mem::lineSize);
+    }
+
+    sim::Simulation sim_;
+    cache::MemoryHierarchy hier;
+};
+
+} // namespace testutil
+
+#endif // IDIO_TESTS_CACHE_HIERARCHY_FIXTURE_HH

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * CPU-side hierarchy flow tests (paper Fig. 2).
+ */
+
+#include "hierarchy_fixture.hh"
+
+namespace
+{
+
+using mem::HitLevel;
+using testutil::HierarchyTest;
+
+TEST_F(HierarchyTest, ColdReadMissesToDram)
+{
+    const auto r = hier.coreRead(0, 0x1000);
+    EXPECT_EQ(r.level, HitLevel::DRAM);
+    EXPECT_EQ(hier.dram().readCount(), 1u);
+
+    // The fill lands in L1 + MLC and is tracked by the directory; the
+    // LLC is NOT touched (non-inclusive: fills bypass it).
+    EXPECT_TRUE(hier.l1(0).contains(0x1000));
+    EXPECT_TRUE(hier.mlcOf(0).contains(0x1000));
+    EXPECT_FALSE(hier.llc().contains(0x1000));
+    EXPECT_TRUE(hier.directory().isTracked(0x1000));
+}
+
+TEST_F(HierarchyTest, SecondReadHitsL1)
+{
+    hier.coreRead(0, 0x1000);
+    const auto r = hier.coreRead(0, 0x1000);
+    EXPECT_EQ(r.level, HitLevel::L1);
+    EXPECT_EQ(hier.l1(0).hits.get(), 1u);
+}
+
+TEST_F(HierarchyTest, L1HitIsFastest)
+{
+    hier.coreRead(0, 0x1000);
+    const auto l1 = hier.coreRead(0, 0x1000);
+    const auto dram = hier.coreRead(0, 0x2000);
+    EXPECT_LT(l1.latency, dram.latency);
+    EXPECT_EQ(l1.latency, hier.config().cyclesToTicks(
+                              hier.config().l1.latencyCycles));
+}
+
+TEST_F(HierarchyTest, L1EvictionLeavesMlcCopy)
+{
+    // L1 is 512 B / 2-way = 4 sets; two same-set lines + a third
+    // evict the first from L1 but not from the MLC.
+    const sim::Addr strideL1 = 4 * 64;
+    hier.coreRead(0, 0x0);
+    hier.coreRead(0, strideL1);
+    hier.coreRead(0, 2 * strideL1);
+    EXPECT_FALSE(hier.l1(0).contains(0x0));
+    EXPECT_TRUE(hier.mlcOf(0).contains(0x0));
+
+    const auto r = hier.coreRead(0, 0x0);
+    EXPECT_EQ(r.level, HitLevel::MLC);
+}
+
+TEST_F(HierarchyTest, LlcHitMovesDataToMlcExclusively)
+{
+    // Put a line into the LLC via DMA, then demand-read it.
+    hier.pcieWrite(0x3000);
+    ASSERT_TRUE(hier.llc().contains(0x3000));
+
+    const auto r = hier.coreRead(0, 0x3000);
+    EXPECT_EQ(r.level, HitLevel::LLC);
+    EXPECT_FALSE(hier.llc().contains(0x3000)) << "data must move out";
+    EXPECT_TRUE(hier.mlcOf(0).contains(0x3000));
+    EXPECT_EQ(hier.llc().demandMoves.get(), 1u);
+
+    // DMA data is not DRAM-backed: the MLC copy must be dirty and
+    // carry I/O provenance.
+    auto ref = hier.mlcOf(0).probe(0x3000);
+    ASSERT_TRUE(ref);
+    EXPECT_TRUE(ref.line->dirty);
+    EXPECT_TRUE(ref.line->io);
+}
+
+TEST_F(HierarchyTest, MlcEvictionAllocatesInLlc)
+{
+    hier.coreWrite(0, 0x1000); // dirty line
+    churnMlc(0);
+    EXPECT_FALSE(hier.mlcOf(0).contains(0x1000));
+    EXPECT_TRUE(hier.llc().contains(0x1000));
+    EXPECT_GE(hier.mlcOf(0).writebacks.get(), 1u);
+    EXPECT_GE(hier.llc().victimInserts.get(), 1u);
+    EXPECT_FALSE(hier.directory().isTracked(0x1000));
+}
+
+TEST_F(HierarchyTest, CleanVictimsInsertedWhenConfigured)
+{
+    hier.coreRead(0, 0x1000); // clean line
+    churnMlc(0);
+    EXPECT_TRUE(hier.llc().contains(0x1000));
+    EXPECT_GE(hier.mlcOf(0).cleanEvictions.get(), 1u);
+}
+
+TEST_F(HierarchyTest, CleanVictimsDroppedWhenDisabled)
+{
+    auto cfg = testutil::tinyConfig();
+    cfg.insertCleanVictims = false;
+    sim::Simulation s2;
+    cache::MemoryHierarchy h2(s2, "sys2", cfg);
+
+    h2.coreRead(0, 0x1000);
+    const auto lines = cfg.mlc.sizeBytes / mem::lineSize;
+    for (std::uint64_t i = 0; i < 2 * lines; ++i)
+        h2.coreRead(0, 0x40000000 + i * mem::lineSize);
+    EXPECT_FALSE(h2.mlcOf(0).contains(0x1000));
+    EXPECT_FALSE(h2.llc().contains(0x1000));
+}
+
+TEST_F(HierarchyTest, DirtyChainReachesDram)
+{
+    hier.coreWrite(0, 0x1000);
+    EXPECT_EQ(hier.dram().writeCount(), 0u);
+
+    // Dirty and churn far more lines than the whole chip holds:
+    // 0x1000 eventually leaves the LLC too, producing a DRAM write.
+    for (int i = 0; i < 1024; ++i)
+        hier.coreWrite(0, 0x40000000 + std::uint64_t(i) * 64);
+
+    EXPECT_GT(hier.dram().writeCount(), 0u);
+    EXPECT_GT(hier.llc().writebacks.get(), 0u);
+}
+
+TEST_F(HierarchyTest, WriteAllocatesAndMarksDirty)
+{
+    const auto r = hier.coreWrite(0, 0x5000);
+    EXPECT_EQ(r.level, HitLevel::DRAM);
+    auto ref = hier.l1(0).probe(0x5000);
+    ASSERT_TRUE(ref);
+    EXPECT_TRUE(ref.line->dirty);
+}
+
+TEST_F(HierarchyTest, L1DirtyVictimMergesIntoMlc)
+{
+    const sim::Addr strideL1 = 4 * 64;
+    hier.coreWrite(0, 0x0); // dirty in L1
+    hier.coreRead(0, strideL1);
+    hier.coreRead(0, 2 * strideL1); // evicts 0x0 from L1
+
+    auto ref = hier.mlcOf(0).probe(0x0);
+    ASSERT_TRUE(ref);
+    EXPECT_TRUE(ref.line->dirty) << "L1 dirtiness must merge into MLC";
+}
+
+TEST_F(HierarchyTest, DmaBloatingOccupiesNonDdioWays)
+{
+    // DMA a line in, consume it, then force it out of the MLC: the
+    // writeback may allocate in ANY LLC way (paper Obs. 3).
+    hier.pcieWrite(0x3000);
+    hier.coreRead(0, 0x3000);
+    churnMlc(0);
+
+    // The line (or churn traffic) must not be limited to DDIO ways;
+    // with LRU and a full churn the bloated-I/O counter sees 0x3000
+    // outside ways 0-1 unless it was evicted to DRAM already.
+    const auto ref = hier.llc().probe(0x3000);
+    if (ref) {
+        EXPECT_TRUE(ref.line->io);
+    } else {
+        // Evicted to DRAM: the dirty writeback happened.
+        EXPECT_GT(hier.dram().writeCount(), 0u);
+    }
+}
+
+TEST_F(HierarchyTest, WayPartitionRestrictsCpuAllocations)
+{
+    auto cfg = testutil::tinyConfig();
+    cfg.llcAllocMask.assign(2, 0);
+    cfg.llcAllocMask[0] = 0b0100; // core 0 may only allocate way 2
+    sim::Simulation s2;
+    cache::MemoryHierarchy h2(s2, "sys2", cfg);
+
+    // Dirty a handful of same-set lines and churn them out of the MLC.
+    h2.coreWrite(0, 0x1000);
+    const auto lines = cfg.mlc.sizeBytes / mem::lineSize;
+    for (std::uint64_t i = 0; i < 2 * lines; ++i)
+        h2.coreRead(0, 0x40000000 + i * mem::lineSize);
+
+    auto ref = h2.llc().probe(0x1000);
+    if (ref)
+        EXPECT_EQ(ref.way, 2u);
+    // Every valid non-DDIO line inserted by core 0 sits in way 2;
+    // count occupancy of other non-DDIO ways.
+    const auto offMask = h2.llc().tags().countValid(
+        [](const cache::CacheLine &, std::uint32_t way) {
+            return way == 3;
+        });
+    EXPECT_EQ(offMask, 0u);
+}
+
+TEST_F(HierarchyTest, MigratoryCoherenceMovesDirtyLineBetweenCores)
+{
+    hier.coreWrite(0, 0x7000);
+    const auto dramReadsAfterFill = hier.dram().readCount();
+    const auto r = hier.coreRead(1, 0x7000);
+    EXPECT_EQ(r.level, HitLevel::LLC); // served on-chip, not DRAM
+    EXPECT_FALSE(hier.mlcOf(0).contains(0x7000));
+    EXPECT_TRUE(hier.mlcOf(1).contains(0x7000));
+    EXPECT_EQ(hier.coherenceMigrations.get(), 1u);
+
+    auto ref = hier.mlcOf(1).probe(0x7000);
+    ASSERT_TRUE(ref);
+    EXPECT_TRUE(ref.line->dirty) << "dirtiness must migrate";
+    EXPECT_EQ(hier.dram().readCount(), dramReadsAfterFill)
+        << "the migration itself must not touch DRAM";
+}
+
+TEST_F(HierarchyTest, DirectoryCapacityBackInvalidatesMlc)
+{
+    auto cfg = testutil::tinyConfig();
+    cfg.directoryCoverage = 0.25; // directory much smaller than MLCs
+    sim::Simulation s2;
+    cache::MemoryHierarchy h2(s2, "sys2", cfg);
+
+    const auto lines = cfg.mlc.sizeBytes / mem::lineSize;
+    for (std::uint64_t i = 0; i < lines; ++i)
+        h2.coreRead(0, 0x1000000 + i * mem::lineSize);
+    EXPECT_GT(h2.mlcOf(0).backInvals.get(), 0u);
+
+    // Invariant: every MLC-resident line is still directory-tracked.
+    const auto &tags = h2.mlcOf(0).tags();
+    for (std::uint32_t s = 0; s < tags.numSets(); ++s) {
+        for (std::uint32_t w = 0; w < tags.assoc(); ++w) {
+            const auto &l = tags.lineAt(s, w);
+            if (l.valid)
+                EXPECT_TRUE(h2.directory().isTracked(l.addr));
+        }
+    }
+}
+
+} // anonymous namespace

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Core timing model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "sim/simulation.hh"
+
+namespace
+{
+
+cache::HierarchyConfig
+smallConfig()
+{
+    cache::HierarchyConfig cfg;
+    cfg.numCores = 2;
+    cfg.l1 = {512, 2, 2};
+    cfg.mlc = {2048, 4, 12};
+    cfg.llcPerCore = {4096, 4, 24};
+    return cfg;
+}
+
+class CoreTest : public ::testing::Test
+{
+  protected:
+    CoreTest()
+        : hier(s, "sys", smallConfig()), core0(s, "core0", 0, hier)
+    {
+    }
+
+    sim::Simulation s;
+    cache::MemoryHierarchy hier;
+    cpu::Core core0;
+};
+
+TEST_F(CoreTest, ReadSpansLines)
+{
+    // 1514 bytes from an aligned base touch 24 lines.
+    core0.read(0x10000, 1514);
+    EXPECT_EQ(core0.reads.get(), 24u);
+    // Unaligned 8-byte read crossing a boundary touches 2 lines.
+    core0.read(0x2003C, 8);
+    EXPECT_EQ(core0.reads.get(), 26u);
+}
+
+TEST_F(CoreTest, WriteSpansLines)
+{
+    core0.write(0x10000, 128);
+    EXPECT_EQ(core0.writes.get(), 2u);
+}
+
+TEST_F(CoreTest, DefaultByteCountIsOneLine)
+{
+    core0.read(0x10000);
+    EXPECT_EQ(core0.reads.get(), 1u);
+}
+
+TEST_F(CoreTest, LatencyAccumulatesOverLines)
+{
+    const auto one = core0.read(0x10000, 1);
+    const auto many = core0.read(0x20000, 10 * 64);
+    EXPECT_GT(many, one);
+}
+
+TEST_F(CoreTest, HitLevelCountersTrack)
+{
+    core0.read(0x10000, 1); // DRAM fill
+    core0.read(0x10000, 1); // L1 hit
+    EXPECT_EQ(core0.hitsDram.get(), 1u);
+    EXPECT_EQ(core0.hitsL1.get(), 1u);
+}
+
+TEST_F(CoreTest, InvalidateChargesPerLine)
+{
+    core0.write(0x10000, 1514);
+    const auto lat = core0.invalidate(0x10000, 1514);
+    EXPECT_EQ(core0.invalidations.get(), 24u);
+    EXPECT_EQ(lat, 24 * hier.config().cyclesToTicks(1));
+    EXPECT_FALSE(hier.mlcOf(0).contains(0x10000));
+}
+
+TEST_F(CoreTest, WorkloadStepsAtReturnedDelays)
+{
+    class FixedDelay : public cpu::Workload
+    {
+      public:
+        sim::Tick
+        step(cpu::Core &) override
+        {
+            ++stepsRun;
+            return 100;
+        }
+        std::string label() const override { return "fixed"; }
+        int stepsRun = 0;
+    };
+
+    FixedDelay wl;
+    core0.run(wl);
+    s.runFor(1000);
+    // Steps at t = 0, 100, ..., 1000 inclusive.
+    EXPECT_EQ(wl.stepsRun, 11);
+    EXPECT_EQ(core0.steps.get(), 11u);
+}
+
+TEST_F(CoreTest, HaltStopsStepping)
+{
+    class FixedDelay : public cpu::Workload
+    {
+      public:
+        sim::Tick
+        step(cpu::Core &) override
+        {
+            ++stepsRun;
+            return 100;
+        }
+        std::string label() const override { return "fixed"; }
+        int stepsRun = 0;
+    };
+
+    FixedDelay wl;
+    core0.run(wl);
+    s.runFor(550);
+    core0.halt();
+    s.runFor(1000);
+    // Steps at t = 0, 100, ..., 500 before the halt.
+    EXPECT_EQ(wl.stepsRun, 6);
+}
+
+TEST_F(CoreTest, VariableDelaysRespected)
+{
+    class Doubling : public cpu::Workload
+    {
+      public:
+        sim::Tick
+        step(cpu::Core &) override
+        {
+            when.push_back(now);
+            delay *= 2;
+            now += delay;
+            return delay;
+        }
+        std::string label() const override { return "doubling"; }
+        sim::Tick delay = 50;
+        sim::Tick now = 0;
+        std::vector<sim::Tick> when;
+    };
+
+    Doubling wl;
+    core0.run(wl);
+    s.runFor(10000);
+    // Steps at 0, 100, 300, 700, 1500, 3100, 6300 -> 7 steps by 10 us.
+    EXPECT_EQ(wl.when.size(), 7u);
+}
+
+TEST_F(CoreTest, TwoCoresShareHierarchy)
+{
+    cpu::Core core1(s, "core1", 1, hier);
+    core0.read(0x30000, 1);
+    core1.read(0x30000, 1);
+    EXPECT_EQ(hier.coherenceMigrations.get(), 1u);
+}
+
+} // anonymous namespace

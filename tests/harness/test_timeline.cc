@@ -1,0 +1,87 @@
+/**
+ * @file
+ * TimelineRecorder tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/timeline.hh"
+
+namespace
+{
+
+TEST(Timeline, RateSeriesInMtps)
+{
+    sim::Simulation s;
+    harness::TimelineRecorder rec(s, 10 * sim::oneUs);
+
+    std::uint64_t counter = 0;
+    rec.trackRate("events", [&] { return counter; });
+    rec.start();
+
+    // 100 events per 10 us interval = 10 MTPS.
+    sim::PeriodicEvent pump(s.eventq(), sim::oneUs,
+                            [&] { counter += 10; });
+    pump.start();
+
+    s.runFor(100 * sim::oneUs);
+    const auto &series = rec.series("events");
+    ASSERT_GE(series.size(), 9u);
+    // Skip the first sample (partial interval alignment) and check
+    // the steady-state rate.
+    for (std::size_t i = 1; i < series.size(); ++i)
+        EXPECT_NEAR(series.points()[i].value, 10.0, 0.01);
+}
+
+TEST(Timeline, ValueSeriesSampled)
+{
+    sim::Simulation s;
+    harness::TimelineRecorder rec(s, sim::oneUs);
+    double v = 1.0;
+    rec.trackValue("gauge", [&] { return v; });
+    rec.start();
+    s.runFor(3 * sim::oneUs);
+    v = 5.0;
+    s.runFor(3 * sim::oneUs);
+
+    const auto &series = rec.series("gauge");
+    ASSERT_GE(series.size(), 5u);
+    EXPECT_DOUBLE_EQ(series.points()[0].value, 1.0);
+    EXPECT_DOUBLE_EQ(series.points().back().value, 5.0);
+}
+
+TEST(Timeline, StopFreezesSeries)
+{
+    sim::Simulation s;
+    harness::TimelineRecorder rec(s, sim::oneUs);
+    std::uint64_t c = 0;
+    rec.trackRate("x", [&] { return c; });
+    rec.start();
+    s.runFor(5 * sim::oneUs);
+    rec.stop();
+    const auto n = rec.series("x").size();
+    s.runFor(5 * sim::oneUs);
+    EXPECT_EQ(rec.series("x").size(), n);
+}
+
+TEST(Timeline, AllReturnsRegistrationOrder)
+{
+    sim::Simulation s;
+    harness::TimelineRecorder rec(s);
+    rec.trackRate("a", [] { return 0ull; });
+    rec.trackRate("b", [] { return 0ull; });
+    const auto all = rec.all();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0]->name(), "a");
+    EXPECT_EQ(all[1]->name(), "b");
+}
+
+TEST(TimelineDeath, UnknownSeriesIsFatal)
+{
+    sim::Simulation s;
+    harness::TimelineRecorder rec(s);
+    EXPECT_EXIT(rec.series("missing"), ::testing::ExitedWithCode(1),
+                "unknown timeline");
+}
+
+} // anonymous namespace

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Steering FSM tests (paper Fig. 8).
+ */
+
+#include <gtest/gtest.h>
+
+#include "idio/fsm.hh"
+
+namespace
+{
+
+using idio::Steering;
+using idio::SteeringFsm;
+
+TEST(Fsm, PowerOnStateDisablesPrefetch)
+{
+    SteeringFsm fsm;
+    EXPECT_EQ(fsm.state(), 3);
+    EXPECT_EQ(fsm.status(), Steering::Llc);
+}
+
+TEST(Fsm, BurstJumpsToMlc)
+{
+    SteeringFsm fsm;
+    fsm.onBurst();
+    EXPECT_EQ(fsm.state(), 0);
+    EXPECT_EQ(fsm.status(), Steering::Mlc);
+}
+
+TEST(Fsm, HighPressureWalksTowardLlc)
+{
+    SteeringFsm fsm;
+    fsm.onBurst();
+    fsm.step(true);
+    EXPECT_EQ(fsm.state(), 1);
+    EXPECT_EQ(fsm.status(), Steering::Mlc);
+    fsm.step(true);
+    EXPECT_EQ(fsm.state(), 2);
+    EXPECT_EQ(fsm.status(), Steering::Mlc);
+    fsm.step(true);
+    EXPECT_EQ(fsm.state(), 3);
+    EXPECT_EQ(fsm.status(), Steering::Llc)
+        << "three consecutive high-pressure intervals disable MLC";
+}
+
+TEST(Fsm, SaturatesAtBothEnds)
+{
+    SteeringFsm fsm;
+    for (int i = 0; i < 10; ++i)
+        fsm.step(true);
+    EXPECT_EQ(fsm.state(), 3);
+    for (int i = 0; i < 10; ++i)
+        fsm.step(false);
+    EXPECT_EQ(fsm.state(), 0);
+    fsm.step(false);
+    EXPECT_EQ(fsm.state(), 0);
+}
+
+TEST(Fsm, LowPressureReenablesMlc)
+{
+    SteeringFsm fsm; // at 3 (LLC)
+    fsm.step(false);
+    EXPECT_EQ(fsm.state(), 2);
+    EXPECT_EQ(fsm.status(), Steering::Mlc)
+        << "any state below 0b11 reads MLC";
+}
+
+TEST(Fsm, PressureOscillationHysteresis)
+{
+    SteeringFsm fsm;
+    fsm.onBurst();
+    // Alternating pressure keeps the counter low: status stays MLC.
+    for (int i = 0; i < 20; ++i)
+        fsm.step(i % 2 == 0);
+    EXPECT_EQ(fsm.status(), Steering::Mlc);
+}
+
+TEST(Fsm, ResetRestoresPowerOn)
+{
+    SteeringFsm fsm;
+    fsm.onBurst();
+    fsm.reset();
+    EXPECT_EQ(fsm.state(), 3);
+}
+
+TEST(Fsm, BurstDuringRegulationRestartsMlc)
+{
+    SteeringFsm fsm;
+    fsm.onBurst();
+    fsm.step(true);
+    fsm.step(true);
+    fsm.step(true); // disabled
+    EXPECT_EQ(fsm.status(), Steering::Llc);
+    fsm.onBurst(); // a new burst re-enables immediately
+    EXPECT_EQ(fsm.status(), Steering::Mlc);
+}
+
+} // anonymous namespace

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * IAT-style DDIO way tuner tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "idio/way_tuner.hh"
+#include "sim/simulation.hh"
+
+namespace
+{
+
+class WayTunerTest : public ::testing::Test
+{
+  protected:
+    WayTunerTest()
+    {
+        cache::HierarchyConfig hcfg;
+        hcfg.numCores = 2;
+        hcfg.llcPerCore = {8192, 8, 24}; // tiny: easy to pressure
+        hcfg.ddioWays = 2;
+        hier = std::make_unique<cache::MemoryHierarchy>(s, "sys", hcfg);
+
+        idio::WayTunerConfig tcfg;
+        tcfg.interval = 10 * sim::oneUs;
+        tcfg.growLeakThreshold = 16;
+        tcfg.shrinkLeakThreshold = 2;
+        tcfg.missThreshold = 32;
+        tuner = std::make_unique<idio::DdioWayTuner>(s, "tuner", *hier,
+                                                     tcfg);
+        tuner->start();
+    }
+
+    sim::Simulation s;
+    std::unique_ptr<cache::MemoryHierarchy> hier;
+    std::unique_ptr<idio::DdioWayTuner> tuner;
+};
+
+TEST_F(WayTunerTest, GrowsUnderDmaLeak)
+{
+    ASSERT_EQ(tuner->currentWays(), 2u);
+    // Stream DMA far beyond the 2-way partition for a few intervals.
+    sim::Addr a = 0;
+    for (int interval = 0; interval < 5; ++interval) {
+        for (int i = 0; i < 2000; ++i) {
+            hier->pcieWrite(a);
+            a += 64;
+        }
+        s.runFor(10 * sim::oneUs);
+    }
+    EXPECT_GT(tuner->currentWays(), 2u);
+    EXPECT_GT(tuner->grows.get(), 0u);
+}
+
+TEST_F(WayTunerTest, ShrinksUnderCpuPressureWithoutLeak)
+{
+    // First grow the partition.
+    sim::Addr a = 0;
+    for (int interval = 0; interval < 5; ++interval) {
+        for (int i = 0; i < 2000; ++i) {
+            hier->pcieWrite(a);
+            a += 64;
+        }
+        s.runFor(10 * sim::oneUs);
+    }
+    const auto grown = tuner->currentWays();
+    ASSERT_GT(grown, 2u);
+
+    // Now pure CPU misses, no DMA.
+    sim::Addr c = 0x4000000;
+    for (int interval = 0; interval < 5; ++interval) {
+        for (int i = 0; i < 500; ++i) {
+            hier->coreRead(0, c);
+            c += 64;
+        }
+        s.runFor(10 * sim::oneUs);
+    }
+    EXPECT_LT(tuner->currentWays(), grown);
+    EXPECT_GT(tuner->shrinks.get(), 0u);
+}
+
+TEST_F(WayTunerTest, RespectsBounds)
+{
+    // Heavy leak for many intervals must saturate at maxWays (8).
+    sim::Addr a = 0;
+    for (int interval = 0; interval < 30; ++interval) {
+        for (int i = 0; i < 2000; ++i) {
+            hier->pcieWrite(a);
+            a += 64;
+        }
+        s.runFor(10 * sim::oneUs);
+    }
+    EXPECT_LE(tuner->currentWays(), 8u);
+}
+
+TEST_F(WayTunerTest, IdleDoesNothing)
+{
+    s.runFor(sim::oneMs);
+    EXPECT_EQ(tuner->currentWays(), 2u);
+    EXPECT_EQ(tuner->grows.get(), 0u);
+    EXPECT_EQ(tuner->shrinks.get(), 0u);
+    EXPECT_GT(tuner->evaluations.get(), 50u);
+}
+
+TEST_F(WayTunerTest, StopFreezesPartition)
+{
+    tuner->stop();
+    sim::Addr a = 0;
+    for (int i = 0; i < 5000; ++i) {
+        hier->pcieWrite(a);
+        a += 64;
+    }
+    s.runFor(sim::oneMs);
+    EXPECT_EQ(tuner->currentWays(), 2u);
+}
+
+TEST(LlcRepartition, DynamicWaysAffectFutureAllocations)
+{
+    sim::Simulation s;
+    cache::HierarchyConfig hcfg;
+    hcfg.numCores = 1;
+    cache::MemoryHierarchy hier(s, "sys", hcfg);
+
+    hier.llc().setDdioWays(4);
+    EXPECT_EQ(hier.llc().ddioWays(), 4u);
+    hier.pcieWrite(0x1000);
+    auto ref = hier.llc().probe(0x1000);
+    ASSERT_TRUE(ref);
+    EXPECT_LT(ref.way, 4u);
+}
+
+TEST(LlcRepartitionDeath, OutOfRangeIsFatal)
+{
+    sim::Simulation s;
+    cache::HierarchyConfig hcfg;
+    hcfg.numCores = 1;
+    cache::MemoryHierarchy hier(s, "sys", hcfg);
+    EXPECT_EXIT(hier.llc().setDdioWays(0),
+                ::testing::ExitedWithCode(1), "out of range");
+    EXPECT_EXIT(hier.llc().setDdioWays(13),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+} // anonymous namespace

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Cacheline address arithmetic tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/addr.hh"
+
+namespace
+{
+
+TEST(Addr, LineAlign)
+{
+    EXPECT_EQ(mem::lineAlign(0), 0u);
+    EXPECT_EQ(mem::lineAlign(63), 0u);
+    EXPECT_EQ(mem::lineAlign(64), 64u);
+    EXPECT_EQ(mem::lineAlign(100), 64u);
+    EXPECT_EQ(mem::lineAlign(0x12345678), 0x12345640u);
+}
+
+TEST(Addr, LineNumberAndOffset)
+{
+    EXPECT_EQ(mem::lineNumber(0), 0u);
+    EXPECT_EQ(mem::lineNumber(64), 1u);
+    EXPECT_EQ(mem::lineNumber(130), 2u);
+    EXPECT_EQ(mem::lineOffset(130), 2u);
+    EXPECT_EQ(mem::lineOffset(64), 0u);
+}
+
+TEST(Addr, IsLineAligned)
+{
+    EXPECT_TRUE(mem::isLineAligned(0));
+    EXPECT_TRUE(mem::isLineAligned(128));
+    EXPECT_FALSE(mem::isLineAligned(1));
+    EXPECT_FALSE(mem::isLineAligned(127));
+}
+
+TEST(Addr, LinesSpanned)
+{
+    EXPECT_EQ(mem::linesSpanned(0, 0), 0u);
+    EXPECT_EQ(mem::linesSpanned(0, 1), 1u);
+    EXPECT_EQ(mem::linesSpanned(0, 64), 1u);
+    EXPECT_EQ(mem::linesSpanned(0, 65), 2u);
+    // Unaligned start crossing a boundary.
+    EXPECT_EQ(mem::linesSpanned(60, 8), 2u);
+    // The paper's MTU frame: 1514 bytes = 24 lines.
+    EXPECT_EQ(mem::linesSpanned(0, 1514), 24u);
+    // A 2 KB DMA buffer = 32 lines.
+    EXPECT_EQ(mem::linesSpanned(0, 2048), 32u);
+    // A 128 B descriptor = 2 lines.
+    EXPECT_EQ(mem::linesSpanned(0, 128), 2u);
+}
+
+} // anonymous namespace

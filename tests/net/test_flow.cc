@@ -1,0 +1,77 @@
+/**
+ * @file
+ * FiveTuple and Toeplitz hash tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/flow.hh"
+
+namespace
+{
+
+TEST(Toeplitz, KnownVectors)
+{
+    // Microsoft RSS verification suite vectors (IPv4 with ports,
+    // default key): 66.9.149.187:2794 -> 161.142.100.80:1766.
+    net::FiveTuple t;
+    t.srcIp = (66u << 24) | (9u << 16) | (149u << 8) | 187u;
+    t.dstIp = (161u << 24) | (142u << 16) | (100u << 8) | 80u;
+    t.srcPort = 2794;
+    t.dstPort = 1766;
+    EXPECT_EQ(net::toeplitzHash(t), 0x51ccc178u);
+
+    // 199.92.111.2:14230 -> 65.69.140.83:4739
+    net::FiveTuple u;
+    u.srcIp = (199u << 24) | (92u << 16) | (111u << 8) | 2u;
+    u.dstIp = (65u << 24) | (69u << 16) | (140u << 8) | 83u;
+    u.srcPort = 14230;
+    u.dstPort = 4739;
+    EXPECT_EQ(net::toeplitzHash(u), 0xc626b0eau);
+}
+
+TEST(Toeplitz, Deterministic)
+{
+    net::FiveTuple t;
+    t.srcIp = 0x01020304;
+    t.dstIp = 0x05060708;
+    t.srcPort = 1;
+    t.dstPort = 2;
+    EXPECT_EQ(net::toeplitzHash(t), net::toeplitzHash(t));
+}
+
+TEST(Toeplitz, SensitiveToEveryField)
+{
+    net::FiveTuple base;
+    base.srcIp = 0x0a000001;
+    base.dstIp = 0x0a000002;
+    base.srcPort = 1000;
+    base.dstPort = 2000;
+    const auto h = net::toeplitzHash(base);
+
+    auto t = base;
+    t.srcIp ^= 1;
+    EXPECT_NE(net::toeplitzHash(t), h);
+    t = base;
+    t.dstIp ^= 1;
+    EXPECT_NE(net::toeplitzHash(t), h);
+    t = base;
+    t.srcPort ^= 1;
+    EXPECT_NE(net::toeplitzHash(t), h);
+    t = base;
+    t.dstPort ^= 1;
+    EXPECT_NE(net::toeplitzHash(t), h);
+}
+
+TEST(FiveTuple, EqualityAndHash)
+{
+    net::FiveTuple a, b;
+    a.srcIp = b.srcIp = 5;
+    a.dstPort = b.dstPort = 7;
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(net::FiveTupleHash{}(a), net::FiveTupleHash{}(b));
+    b.srcPort = 9;
+    EXPECT_NE(a, b);
+}
+
+} // anonymous namespace

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Wire-format header tests: round trips and checksum math.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "net/headers.hh"
+
+namespace
+{
+
+TEST(Ethernet, RoundTrip)
+{
+    net::EthernetHeader h;
+    h.dst = net::MacAddr{1, 2, 3, 4, 5, 6};
+    h.src = net::MacAddr{7, 8, 9, 10, 11, 12};
+    h.etherType = 0x0800;
+
+    std::uint8_t buf[net::EthernetHeader::wireBytes];
+    h.write(buf);
+    EXPECT_EQ(net::EthernetHeader::read(buf), h);
+}
+
+TEST(Ethernet, WireLayout)
+{
+    net::EthernetHeader h;
+    h.dst = net::MacAddr{0xAA, 0, 0, 0, 0, 0xBB};
+    std::uint8_t buf[14] = {};
+    h.write(buf);
+    EXPECT_EQ(buf[0], 0xAA);
+    EXPECT_EQ(buf[5], 0xBB);
+    EXPECT_EQ(buf[12], 0x08); // ethertype big-endian
+    EXPECT_EQ(buf[13], 0x00);
+}
+
+TEST(Ipv4, RoundTrip)
+{
+    net::Ipv4Header h;
+    h.dscp = 40;
+    h.ecn = 1;
+    h.totalLength = 1500;
+    h.identification = 0x1234;
+    h.ttl = 17;
+    h.protocol = net::IpProto::Udp;
+    h.srcIp = 0x0a000001;
+    h.dstIp = 0xc0a80102;
+
+    std::uint8_t buf[net::Ipv4Header::wireBytes];
+    h.write(buf);
+    EXPECT_EQ(net::Ipv4Header::read(buf), h);
+}
+
+TEST(Ipv4, DscpOccupiesHighSixBits)
+{
+    net::Ipv4Header h;
+    h.dscp = 0x3F;
+    h.ecn = 0x3;
+    std::uint8_t buf[20];
+    h.write(buf);
+    EXPECT_EQ(buf[1], 0xFF);
+
+    h.dscp = 32; // class-1 marker bit only
+    h.ecn = 0;
+    h.write(buf);
+    EXPECT_EQ(buf[1], 0x80);
+}
+
+TEST(Ipv4, ChecksumValidatesToZero)
+{
+    net::Ipv4Header h;
+    h.srcIp = 0x01020304;
+    h.dstIp = 0x05060708;
+    h.totalLength = 100;
+    std::uint8_t buf[20];
+    h.write(buf);
+    // Ones-complement sum over a header with a correct checksum is 0.
+    EXPECT_EQ(net::Ipv4Header::checksum(buf, 20), 0);
+}
+
+TEST(Ipv4, KnownChecksumVector)
+{
+    // Classic example from RFC 1071 discussions.
+    const std::uint8_t data[] = {0x45, 0x00, 0x00, 0x3c, 0x1c, 0x46,
+                                 0x40, 0x00, 0x40, 0x06, 0x00, 0x00,
+                                 0xac, 0x10, 0x0a, 0x63, 0xac, 0x10,
+                                 0x0a, 0x0c};
+    EXPECT_EQ(net::Ipv4Header::checksum(data, 20), 0xB1E6);
+}
+
+TEST(Udp, RoundTrip)
+{
+    net::UdpHeader h;
+    h.srcPort = 40000;
+    h.dstPort = 5001;
+    h.length = 1472;
+
+    std::uint8_t buf[net::UdpHeader::wireBytes];
+    h.write(buf);
+    EXPECT_EQ(net::UdpHeader::read(buf), h);
+}
+
+TEST(Constants, HeaderSizesMatchPaperAssumptions)
+{
+    // "Header size of packets in all well-known protocols is less
+    // than 64 bytes": our combined header must fit one cacheline.
+    EXPECT_EQ(net::headerBytes, 42u);
+    EXPECT_LT(net::headerBytes, 64u);
+    EXPECT_EQ(net::maxFrameBytes, 1514u);
+}
+
+TEST(IpToString, Formats)
+{
+    EXPECT_EQ(net::ipToString(0x0a000001), "10.0.0.1");
+    EXPECT_EQ(net::ipToString(0xffffffff), "255.255.255.255");
+}
+
+} // anonymous namespace

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Packet model tests: sizes, line math, header render/parse.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/packet.hh"
+
+namespace
+{
+
+TEST(Packet, PayloadAndLines)
+{
+    net::Packet p;
+    p.frameBytes = 1514;
+    EXPECT_EQ(p.payloadBytes(), 1514u - 42u);
+    EXPECT_EQ(p.lines(), 24u);
+
+    p.frameBytes = 64;
+    EXPECT_EQ(p.lines(), 1u);
+    p.frameBytes = 65;
+    EXPECT_EQ(p.lines(), 2u);
+    p.frameBytes = 1024;
+    EXPECT_EQ(p.lines(), 16u);
+}
+
+TEST(Packet, TinyFrameHasNoPayload)
+{
+    net::Packet p;
+    p.frameBytes = 40;
+    EXPECT_EQ(p.payloadBytes(), 0u);
+}
+
+TEST(Packet, HeaderRenderParseRoundTrip)
+{
+    net::Packet p;
+    p.flow.srcIp = 0x0a010203;
+    p.flow.dstIp = 0x0a040506;
+    p.flow.srcPort = 40123;
+    p.flow.dstPort = 5007;
+    p.flow.proto = net::IpProto::Udp;
+    p.dscp = 40;
+    p.frameBytes = 1024;
+    p.seq = 99;
+
+    std::uint8_t buf[net::headerBytes];
+    p.renderHeaders(buf);
+    const net::Packet q = net::Packet::parseHeaders(buf);
+
+    EXPECT_EQ(q.flow, p.flow);
+    EXPECT_EQ(q.dscp, p.dscp);
+    EXPECT_EQ(q.frameBytes, p.frameBytes);
+}
+
+TEST(Packet, RenderedIpv4ChecksumIsValid)
+{
+    net::Packet p;
+    p.flow.srcIp = 1;
+    p.flow.dstIp = 2;
+    p.frameBytes = 256;
+    std::uint8_t buf[net::headerBytes];
+    p.renderHeaders(buf);
+    EXPECT_EQ(net::Ipv4Header::checksum(
+                  buf + net::EthernetHeader::wireBytes, 20),
+              0);
+}
+
+} // anonymous namespace

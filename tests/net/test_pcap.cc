@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Pcap writer/reader round-trip tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "net/pcap.hh"
+
+namespace
+{
+
+class PcapTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path = ::testing::TempDir() + "idio_pcap_test_" +
+               std::to_string(::getpid()) + "_" +
+               ::testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name() +
+               ".pcap";
+    }
+
+    void TearDown() override { std::remove(path.c_str()); }
+
+    net::Packet
+    packet(std::uint16_t srcPort, std::uint32_t bytes,
+           std::uint8_t dscp = 0)
+    {
+        net::Packet p;
+        p.flow.srcIp = 0x0a000001;
+        p.flow.dstIp = 0x0a000002;
+        p.flow.srcPort = srcPort;
+        p.flow.dstPort = 5000;
+        p.frameBytes = bytes;
+        p.dscp = dscp;
+        return p;
+    }
+
+    std::string path;
+};
+
+TEST_F(PcapTest, RoundTripPreservesIdentity)
+{
+    {
+        net::PcapWriter w(path);
+        w.record(10 * sim::oneUs, packet(1000, 1514, 0));
+        w.record(25 * sim::oneUs, packet(1001, 1024, 40));
+        w.record(3 * sim::oneMs, packet(1002, 64));
+        EXPECT_EQ(w.count(), 3u);
+    }
+
+    const auto trace = net::PcapReader::readAll(path);
+    ASSERT_EQ(trace.size(), 3u);
+
+    EXPECT_EQ(trace[0].when, 10 * sim::oneUs);
+    EXPECT_EQ(trace[0].pkt.flow.srcPort, 1000);
+    EXPECT_EQ(trace[0].pkt.frameBytes, 1514u);
+    EXPECT_EQ(trace[0].pkt.dscp, 0);
+
+    EXPECT_EQ(trace[1].when, 25 * sim::oneUs);
+    EXPECT_EQ(trace[1].pkt.dscp, 40);
+    EXPECT_EQ(trace[1].pkt.frameBytes, 1024u);
+
+    EXPECT_EQ(trace[2].when, 3 * sim::oneMs);
+    EXPECT_EQ(trace[2].pkt.frameBytes, 64u);
+}
+
+TEST_F(PcapTest, TimestampPrecisionIsNanoseconds)
+{
+    {
+        net::PcapWriter w(path);
+        w.record(sim::oneSec + 123 * sim::oneNs, packet(1, 64));
+    }
+    const auto trace = net::PcapReader::readAll(path);
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace[0].when, sim::oneSec + 123 * sim::oneNs);
+}
+
+TEST_F(PcapTest, SnapLenTruncatesButKeepsOrigLen)
+{
+    {
+        net::PcapWriter w(path, /*snapLen=*/64);
+        w.record(0, packet(7, 1514));
+    }
+    const auto trace = net::PcapReader::readAll(path);
+    ASSERT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace[0].pkt.frameBytes, 1514u) << "origLen preserved";
+    EXPECT_EQ(trace[0].pkt.flow.srcPort, 7) << "headers still parsed";
+}
+
+TEST_F(PcapTest, EmptyCapture)
+{
+    { net::PcapWriter w(path); }
+    EXPECT_TRUE(net::PcapReader::readAll(path).empty());
+}
+
+TEST_F(PcapTest, MagicNumberIsStandard)
+{
+    { net::PcapWriter w(path); }
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::uint32_t magic = 0;
+    ASSERT_EQ(std::fread(&magic, 4, 1, f), 1u);
+    std::fclose(f);
+    EXPECT_EQ(magic, 0xa1b23c4du) << "nanosecond pcap magic";
+}
+
+TEST_F(PcapTest, ManyRecords)
+{
+    {
+        net::PcapWriter w(path);
+        for (int i = 0; i < 1000; ++i) {
+            w.record(sim::Tick(i) * sim::oneUs,
+                     packet(std::uint16_t(i), 64 + (i % 1400)));
+        }
+    }
+    const auto trace = net::PcapReader::readAll(path);
+    ASSERT_EQ(trace.size(), 1000u);
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_EQ(trace[i].pkt.flow.srcPort, std::uint16_t(i));
+        ASSERT_EQ(trace[i].when, sim::Tick(i) * sim::oneUs);
+    }
+}
+
+TEST(PcapDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT(net::PcapReader::readAll("/nonexistent/x.pcap"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // anonymous namespace

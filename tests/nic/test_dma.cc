@@ -1,0 +1,152 @@
+/**
+ * @file
+ * DMA engine tests: pacing, ordering, callbacks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nic/dma.hh"
+#include "sim/simulation.hh"
+
+namespace
+{
+
+/** Records every transaction with its arrival tick. */
+class RecordingTarget : public nic::DmaTarget
+{
+  public:
+    struct Rec
+    {
+        char kind; // 'W' or 'R'
+        sim::Addr addr;
+        nic::TlpMeta meta;
+        sim::Tick when;
+    };
+
+    explicit RecordingTarget(sim::Simulation &s) : s(s) {}
+
+    void
+    dmaWrite(sim::Addr addr, const nic::TlpMeta &meta) override
+    {
+        recs.push_back({'W', addr, meta, s.now()});
+    }
+
+    sim::Tick
+    dmaRead(sim::Addr addr) override
+    {
+        recs.push_back({'R', addr, {}, s.now()});
+        return 100;
+    }
+
+    sim::Simulation &s;
+    std::vector<Rec> recs;
+};
+
+class DmaTest : public ::testing::Test
+{
+  protected:
+    DmaTest() : target(s), dma(s, "dma", target, 32.0) {}
+
+    sim::Simulation s;
+    RecordingTarget target;
+    nic::DmaEngine dma; // 32 GB/s -> 2 ns per line
+};
+
+TEST_F(DmaTest, WritesArriveInOrder)
+{
+    dma.enqueueWrite(0x100, {});
+    dma.enqueueWrite(0x140, {});
+    dma.enqueueWrite(0x180, {});
+    s.runFor(sim::oneUs);
+
+    ASSERT_EQ(target.recs.size(), 3u);
+    EXPECT_EQ(target.recs[0].addr, 0x100u);
+    EXPECT_EQ(target.recs[1].addr, 0x140u);
+    EXPECT_EQ(target.recs[2].addr, 0x180u);
+    EXPECT_EQ(dma.linesWritten.get(), 3u);
+}
+
+TEST_F(DmaTest, BandwidthPacing)
+{
+    for (int i = 0; i < 10; ++i)
+        dma.enqueueWrite(0x1000 + i * 64, {});
+    s.runFor(sim::oneUs);
+
+    // 32 GB/s = 2 ns per 64 B line.
+    const sim::Tick gap = sim::nsToTicks(2.0);
+    for (std::size_t i = 1; i < target.recs.size(); ++i) {
+        EXPECT_EQ(target.recs[i].when - target.recs[i - 1].when, gap);
+    }
+}
+
+TEST_F(DmaTest, CallbackFiresAfterPrecedingTransfers)
+{
+    sim::Tick cbTime = 0;
+    dma.enqueueWrite(0x100, {});
+    dma.enqueueWrite(0x140, {});
+    dma.enqueueCallback([&] { cbTime = s.now(); });
+    s.runFor(sim::oneUs);
+
+    ASSERT_EQ(target.recs.size(), 2u);
+    EXPECT_GE(cbTime, target.recs[1].when);
+    EXPECT_EQ(dma.callbacks.get(), 1u);
+}
+
+TEST_F(DmaTest, CallbackOrderingInterleaved)
+{
+    std::vector<int> order;
+    dma.enqueueWrite(0x100, {});
+    dma.enqueueCallback([&] { order.push_back(1); });
+    dma.enqueueWrite(0x140, {});
+    dma.enqueueCallback([&] { order.push_back(2); });
+    s.runFor(sim::oneUs);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(DmaTest, MetadataDeliveredIntact)
+{
+    nic::TlpMeta m;
+    m.appClass = 1;
+    m.isHeader = true;
+    m.isBurst = true;
+    dma.enqueueWrite(0x200, m);
+    s.runFor(sim::oneUs);
+    ASSERT_EQ(target.recs.size(), 1u);
+    EXPECT_EQ(target.recs[0].meta, m);
+}
+
+TEST_F(DmaTest, ReadsAndWritesShareTheLink)
+{
+    dma.enqueueWrite(0x100, {});
+    dma.enqueueRead(0x500);
+    dma.enqueueWrite(0x140, {});
+    s.runFor(sim::oneUs);
+
+    ASSERT_EQ(target.recs.size(), 3u);
+    EXPECT_EQ(target.recs[0].kind, 'W');
+    EXPECT_EQ(target.recs[1].kind, 'R');
+    EXPECT_EQ(target.recs[2].kind, 'W');
+    EXPECT_EQ(dma.linesRead.get(), 1u);
+}
+
+TEST_F(DmaTest, AddressesLineAligned)
+{
+    dma.enqueueWrite(0x123, {});
+    s.runFor(sim::oneUs);
+    EXPECT_EQ(target.recs[0].addr, 0x100u);
+}
+
+TEST_F(DmaTest, LateEnqueueResumesPump)
+{
+    dma.enqueueWrite(0x100, {});
+    s.runFor(sim::oneUs);
+    EXPECT_EQ(target.recs.size(), 1u);
+
+    dma.enqueueWrite(0x140, {});
+    s.runFor(sim::oneUs);
+    EXPECT_EQ(target.recs.size(), 2u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Flow Director tests: EP rules, ATR learning, RSS fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nic/flow_director.hh"
+
+namespace
+{
+
+net::FiveTuple
+flow(std::uint16_t srcPort, std::uint16_t dstPort = 5000)
+{
+    net::FiveTuple t;
+    t.srcIp = 0x0a000001;
+    t.dstIp = 0x0a000002;
+    t.srcPort = srcPort;
+    t.dstPort = dstPort;
+    return t;
+}
+
+TEST(FlowDirector, EpRuleWins)
+{
+    nic::FlowDirector fd(8);
+    fd.addRule(flow(1000), 5);
+    EXPECT_EQ(fd.lookup(flow(1000)), 5u);
+    EXPECT_EQ(fd.ruleCount(), 1u);
+}
+
+TEST(FlowDirector, RemoveRuleRestoresFallback)
+{
+    nic::FlowDirector fd(8);
+    const auto fallback = fd.lookup(flow(1000));
+    fd.addRule(flow(1000), 7);
+    EXPECT_EQ(fd.lookup(flow(1000)), 7u);
+    fd.removeRule(flow(1000));
+    EXPECT_EQ(fd.lookup(flow(1000)), fallback);
+}
+
+TEST(FlowDirector, AtrLearning)
+{
+    nic::FlowDirector fd(8);
+    fd.learn(flow(2000), 3);
+    EXPECT_EQ(fd.lookup(flow(2000)), 3u);
+    EXPECT_EQ(fd.learnedCount(), 1u);
+}
+
+TEST(FlowDirector, EpOverridesAtr)
+{
+    nic::FlowDirector fd(8);
+    fd.learn(flow(2000), 3);
+    fd.addRule(flow(2000), 6);
+    EXPECT_EQ(fd.lookup(flow(2000)), 6u);
+}
+
+TEST(FlowDirector, RssFallbackInRange)
+{
+    nic::FlowDirector fd(4);
+    for (std::uint16_t p = 1; p < 200; ++p)
+        EXPECT_LT(fd.lookup(flow(p)), 4u);
+}
+
+TEST(FlowDirector, RssFallbackSpreadsFlows)
+{
+    nic::FlowDirector fd(4);
+    std::vector<int> hits(4, 0);
+    for (std::uint16_t p = 1; p <= 400; ++p)
+        ++hits[fd.lookup(flow(p, 6000 + p))];
+    for (int c = 0; c < 4; ++c)
+        EXPECT_GT(hits[c], 40) << "core " << c;
+}
+
+TEST(FlowDirector, LearnIsIdempotentPerIndex)
+{
+    nic::FlowDirector fd(8);
+    fd.learn(flow(2000), 3);
+    fd.learn(flow(2000), 4); // re-learn updates
+    EXPECT_EQ(fd.lookup(flow(2000)), 4u);
+    EXPECT_EQ(fd.learnedCount(), 1u);
+}
+
+TEST(FlowDirectorDeath, BadTableSizeIsFatal)
+{
+    EXPECT_EXIT(nic::FlowDirector(4, 1000),
+                ::testing::ExitedWithCode(1), "power of two");
+    EXPECT_EXIT(nic::FlowDirector(0), ::testing::ExitedWithCode(1),
+                "at least one");
+}
+
+} // anonymous namespace

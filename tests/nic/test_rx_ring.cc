@@ -1,0 +1,138 @@
+/**
+ * @file
+ * RX descriptor ring tests: HW/SW handshake, wrap-around, capacity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nic/rx_ring.hh"
+
+namespace
+{
+
+net::Packet
+pkt(std::uint64_t seq)
+{
+    net::Packet p;
+    p.seq = seq;
+    p.frameBytes = 1514;
+    return p;
+}
+
+class RxRingTest : public ::testing::Test
+{
+  protected:
+    RxRingTest() : ring(0x100000, 16)
+    {
+        for (std::uint32_t i = 0; i < 16; ++i)
+            ring.swArm(i, 0x200000 + i * 2048, i);
+    }
+
+    nic::RxRing ring;
+};
+
+TEST_F(RxRingTest, DescriptorAddresses)
+{
+    EXPECT_EQ(ring.descAddr(0), 0x100000u);
+    EXPECT_EQ(ring.descAddr(1), 0x100000u + nic::rxDescBytes);
+    EXPECT_EQ(ring.descAddr(15), 0x100000u + 15 * nic::rxDescBytes);
+}
+
+TEST_F(RxRingTest, FullyArmedInitially)
+{
+    EXPECT_EQ(ring.armedCount(), 16u);
+    EXPECT_EQ(ring.backlog(), 0u);
+    EXPECT_TRUE(ring.hwCanFill());
+    EXPECT_FALSE(ring.swReady());
+}
+
+TEST_F(RxRingTest, ClaimCompleteConsumeCycle)
+{
+    const auto idx = ring.hwClaim(pkt(1));
+    EXPECT_EQ(idx, 0u);
+    EXPECT_FALSE(ring.swReady()) << "DD not yet set";
+
+    ring.hwComplete(idx);
+    EXPECT_TRUE(ring.swReady());
+    EXPECT_EQ(ring.backlog(), 1u);
+
+    const auto consumed = ring.swConsume();
+    EXPECT_EQ(consumed, 0u);
+    EXPECT_EQ(ring.slot(consumed).pkt.seq, 1u);
+    EXPECT_EQ(ring.backlog(), 0u);
+    EXPECT_EQ(ring.armedCount(), 15u);
+}
+
+TEST_F(RxRingTest, InOrderConsumption)
+{
+    for (int i = 0; i < 5; ++i)
+        ring.hwComplete(ring.hwClaim(pkt(i)));
+    for (int i = 0; i < 5; ++i) {
+        const auto idx = ring.swConsume();
+        EXPECT_EQ(ring.slot(idx).pkt.seq, std::uint64_t(i));
+    }
+}
+
+TEST_F(RxRingTest, RingFullWhenAllClaimed)
+{
+    for (int i = 0; i < 16; ++i)
+        ring.hwClaim(pkt(i));
+    EXPECT_FALSE(ring.hwCanFill());
+    EXPECT_EQ(ring.armedCount(), 0u);
+}
+
+TEST_F(RxRingTest, ConsumedSlotNotFillableUntilRearmed)
+{
+    ring.hwComplete(ring.hwClaim(pkt(1)));
+    ring.swConsume();
+    // hwNext has advanced past slot 0; wrap around to reach it again.
+    for (int i = 0; i < 15; ++i)
+        ring.hwComplete(ring.hwClaim(pkt(2 + i)));
+    EXPECT_FALSE(ring.hwCanFill()) << "slot 0 is not re-armed yet";
+
+    ring.swArm(0, 0x300000, 42);
+    EXPECT_TRUE(ring.hwCanFill());
+}
+
+TEST_F(RxRingTest, WrapAroundPreservesOrder)
+{
+    // Run three full ring cycles.
+    std::uint64_t seq = 0;
+    for (int cycle = 0; cycle < 3; ++cycle) {
+        for (int i = 0; i < 16; ++i)
+            ring.hwComplete(ring.hwClaim(pkt(seq++)));
+        std::uint64_t expect = cycle * 16ull;
+        for (int i = 0; i < 16; ++i) {
+            const auto idx = ring.swConsume();
+            EXPECT_EQ(ring.slot(idx).pkt.seq, expect++);
+            ring.swArm(idx, 0x200000 + idx * 2048, idx);
+        }
+    }
+}
+
+TEST_F(RxRingTest, InFlightSlotNotReady)
+{
+    const auto idx = ring.hwClaim(pkt(1));
+    EXPECT_FALSE(ring.swReady());
+    EXPECT_EQ(ring.armedCount(), 15u) << "in-flight not counted free";
+    ring.hwComplete(idx);
+    EXPECT_TRUE(ring.swReady());
+}
+
+TEST(RxRingDeath, TooSmallRingPanics)
+{
+    EXPECT_DEATH(nic::RxRing(0x1000, 4), "too small");
+}
+
+TEST(RxRingDeath, BadHandshakesPanic)
+{
+    nic::RxRing ring(0x1000, 8);
+    EXPECT_DEATH(ring.hwClaim(pkt(1)), "unavailable");
+    ring.swArm(0, 0x2000, 0);
+    const auto idx = ring.hwClaim(pkt(1));
+    EXPECT_DEATH(ring.swConsume(), "incomplete");
+    ring.hwComplete(idx);
+    EXPECT_DEATH(ring.hwComplete(idx), "not in flight");
+}
+
+} // anonymous namespace

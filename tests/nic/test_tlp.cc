@@ -1,0 +1,88 @@
+/**
+ * @file
+ * TLP reserved-bit encoding tests (paper Fig. 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "nic/tlp.hh"
+
+namespace
+{
+
+TEST(Tlp, RoundTripAllCores)
+{
+    for (sim::CoreId core = 0; core < 63; ++core) {
+        nic::TlpMeta m;
+        m.destCore = core;
+        m.isHeader = (core % 2) == 0;
+        m.isBurst = (core % 3) == 0;
+        m.appClass = 0;
+        EXPECT_EQ(nic::decodeTlp(nic::encodeTlp(m)), m)
+            << "core " << core;
+    }
+}
+
+TEST(Tlp, Class1EncodedAsAllOnes)
+{
+    nic::TlpMeta m;
+    m.appClass = 1;
+    m.destCore = 17; // ignored for class 1
+    const auto dw0 = nic::encodeTlp(m);
+    const auto d = nic::decodeTlp(dw0);
+    EXPECT_EQ(d.appClass, 1);
+    EXPECT_EQ(d.destCore, 0u);
+}
+
+TEST(Tlp, UsesOnlyReservedBits)
+{
+    // Bits 31, 23, 19:16, 11, 10 — nothing else may be set.
+    const std::uint32_t allowed = (1u << 31) | (1u << 23) |
+                                  (0xFu << 16) | (1u << 11) |
+                                  (1u << 10);
+    nic::TlpMeta m;
+    m.appClass = 1;
+    m.isHeader = true;
+    m.isBurst = true;
+    EXPECT_EQ(nic::encodeTlp(m) & ~allowed, 0u);
+}
+
+TEST(Tlp, HeaderAndBurstBitPositions)
+{
+    nic::TlpMeta m;
+    m.isHeader = true;
+    EXPECT_EQ(nic::encodeTlp(m) & (1u << 31), 1u << 31);
+    m.isHeader = false;
+    m.isBurst = true;
+    EXPECT_EQ(nic::encodeTlp(m) & (1u << 10), 1u << 10);
+}
+
+TEST(Tlp, CoreFieldBitPositions)
+{
+    // Core 63 is reserved for class 1; core 0b100000 (32) sets only
+    // the MSB of the field, which Fig. 7 places at bit 23.
+    nic::TlpMeta m;
+    m.destCore = 32;
+    EXPECT_EQ(nic::encodeTlp(m), 1u << 23);
+    m.destCore = 1; // LSB at bit 11
+    EXPECT_EQ(nic::encodeTlp(m), 1u << 11);
+    m.destCore = 2; // next bit at 16
+    EXPECT_EQ(nic::encodeTlp(m), 1u << 16);
+}
+
+TEST(Tlp, ZeroMetaIsZeroWord)
+{
+    nic::TlpMeta m;
+    EXPECT_EQ(nic::encodeTlp(m), 0u);
+    EXPECT_EQ(nic::decodeTlp(0), m);
+}
+
+TEST(TlpDeath, TooManyCoresIsFatal)
+{
+    nic::TlpMeta m;
+    m.destCore = 63;
+    EXPECT_EXIT(nic::encodeTlp(m), ::testing::ExitedWithCode(1),
+                "at most");
+}
+
+} // anonymous namespace

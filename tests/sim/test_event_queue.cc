@@ -1,0 +1,216 @@
+/**
+ * @file
+ * EventQueue unit tests: ordering, determinism, scheduling semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+using sim::Event;
+using sim::EventQueue;
+using sim::Tick;
+
+class RecordingEvent : public Event
+{
+  public:
+    RecordingEvent(std::vector<int> &log, int id) : log(log), id(id) {}
+    void process() override { log.push_back(id); }
+
+  private:
+    std::vector<int> &log;
+    int id;
+};
+
+TEST(EventQueue, StartsAtTickZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ProcessesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> log;
+    q.schedule(30, [&] { log.push_back(3); });
+    q.schedule(10, [&] { log.push_back(1); });
+    q.schedule(20, [&] { log.push_back(2); });
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFiresInInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> log;
+    for (int i = 0; i < 16; ++i)
+        q.schedule(5, [&log, i] { log.push_back(i); });
+    q.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(log[i], i);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    q.schedule(30, [&] { ++fired; });
+
+    q.runUntil(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 20u);
+    EXPECT_EQ(q.pending(), 1u);
+
+    q.runUntil(100);
+    EXPECT_EQ(fired, 3);
+    // Time advances to the limit even when the queue drains earlier.
+    EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, EventsScheduledDuringProcessingRun)
+{
+    EventQueue q;
+    std::vector<int> log;
+    q.schedule(10, [&] {
+        log.push_back(1);
+        q.schedule(15, [&] { log.push_back(2); });
+    });
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, ZeroDelaySelfScheduleAdvancesDeterministically)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void()> again = [&] {
+        if (++count < 5)
+            q.scheduleIn(0, again);
+    };
+    q.scheduleIn(1, again);
+    q.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(q.now(), 1u);
+}
+
+TEST(EventQueue, MemberEventScheduleAndFire)
+{
+    EventQueue q;
+    std::vector<int> log;
+    RecordingEvent ev(log, 7);
+    EXPECT_FALSE(ev.scheduled());
+
+    q.schedule(&ev, 42);
+    EXPECT_TRUE(ev.scheduled());
+    EXPECT_EQ(ev.when(), 42u);
+
+    q.run();
+    EXPECT_FALSE(ev.scheduled());
+    EXPECT_EQ(log, (std::vector<int>{7}));
+}
+
+TEST(EventQueue, DescheduledEventDoesNotFire)
+{
+    EventQueue q;
+    std::vector<int> log;
+    RecordingEvent ev(log, 1);
+    q.schedule(&ev, 10);
+    q.deschedule(&ev);
+    EXPECT_FALSE(ev.scheduled());
+    q.run();
+    EXPECT_TRUE(log.empty());
+}
+
+TEST(EventQueue, RescheduleAfterDeschedule)
+{
+    EventQueue q;
+    std::vector<int> log;
+    RecordingEvent ev(log, 2);
+    q.schedule(&ev, 10);
+    q.deschedule(&ev);
+    q.schedule(&ev, 20);
+    q.run();
+    // Fires exactly once, at the second scheduling.
+    EXPECT_EQ(log, (std::vector<int>{2}));
+    EXPECT_EQ(q.now(), 20u);
+}
+
+TEST(EventQueue, MemberEventCanRescheduleItself)
+{
+    EventQueue q;
+
+    class Repeater : public Event
+    {
+      public:
+        Repeater(EventQueue &q, int limit) : q(q), limit(limit) {}
+        void
+        process() override
+        {
+            if (++fires < limit)
+                q.scheduleIn(this, 10);
+        }
+        int fires = 0;
+
+      private:
+        EventQueue &q;
+        int limit;
+    };
+
+    Repeater r(q, 4);
+    q.schedule(&r, 10);
+    q.run();
+    EXPECT_EQ(r.fires, 4);
+    EXPECT_EQ(q.now(), 40u);
+}
+
+TEST(EventQueue, PendingCountTracksSquashedEntries)
+{
+    EventQueue q;
+    std::vector<int> log;
+    RecordingEvent a(log, 1), b(log, 2);
+    q.schedule(&a, 10);
+    q.schedule(&b, 20);
+    EXPECT_EQ(q.pending(), 2u);
+    q.deschedule(&a);
+    EXPECT_EQ(q.pending(), 1u);
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, ProcessedEventsCounter)
+{
+    EventQueue q;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(i, [] {});
+    q.run();
+    EXPECT_EQ(q.processedEvents(), 10u);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.run();
+    EXPECT_DEATH(q.schedule(50, [] {}), "past");
+}
+
+TEST(EventQueueDeath, DoubleSchedulePanics)
+{
+    EventQueue q;
+    std::vector<int> log;
+    RecordingEvent ev(log, 1);
+    q.schedule(&ev, 10);
+    EXPECT_DEATH(q.schedule(&ev, 20), "twice");
+    q.deschedule(&ev);
+}
+
+} // anonymous namespace

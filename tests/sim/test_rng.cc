@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic RNG tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hh"
+
+namespace
+{
+
+TEST(Rng, SameSeedSameSequence)
+{
+    sim::Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    sim::Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    sim::Rng r(42);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.below(17);
+        ASSERT_LT(v, 17u);
+    }
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    sim::Rng r(42);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++seen[r.below(8)];
+    for (int i = 0; i < 8; ++i) {
+        // Each bucket expects 1000; allow generous slack.
+        EXPECT_GT(seen[i], 700) << "bucket " << i;
+        EXPECT_LT(seen[i], 1300) << "bucket " << i;
+    }
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    sim::Rng r(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean)
+{
+    sim::Rng r(99);
+    const double mean = 250.0;
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.exponential(mean);
+        ASSERT_GE(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, mean, mean * 0.05);
+}
+
+TEST(Rng, ChanceProbability)
+{
+    sim::Rng r(5);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    sim::Rng r(11);
+    const auto first = r.next();
+    r.next();
+    r.reseed(11);
+    EXPECT_EQ(r.next(), first);
+}
+
+} // anonymous namespace

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Time-unit conversion tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+namespace
+{
+
+TEST(Types, UnitRelations)
+{
+    EXPECT_EQ(sim::oneNs, 1000u * sim::onePs);
+    EXPECT_EQ(sim::oneUs, 1000u * sim::oneNs);
+    EXPECT_EQ(sim::oneMs, 1000u * sim::oneUs);
+    EXPECT_EQ(sim::oneSec, 1000u * sim::oneMs);
+}
+
+TEST(Types, TicksToSeconds)
+{
+    EXPECT_DOUBLE_EQ(sim::ticksToSeconds(sim::oneSec), 1.0);
+    EXPECT_DOUBLE_EQ(sim::ticksToSeconds(sim::oneMs), 1e-3);
+    EXPECT_DOUBLE_EQ(sim::ticksToUs(sim::oneUs), 1.0);
+    EXPECT_DOUBLE_EQ(sim::ticksToUs(10 * sim::oneMs), 10000.0);
+}
+
+TEST(Types, NsToTicksRounds)
+{
+    EXPECT_EQ(sim::nsToTicks(1.0), sim::oneNs);
+    EXPECT_EQ(sim::nsToTicks(0.5), 500u);
+    EXPECT_EQ(sim::nsToTicks(0.0004), 0u);
+    EXPECT_EQ(sim::nsToTicks(0.0006), 1u);
+}
+
+TEST(Types, CyclePeriodAt3GHz)
+{
+    // One cycle at 3 GHz is 333.33 ps; integer rounding gives 333.
+    EXPECT_EQ(sim::cyclePeriod(3.0), 333u);
+    EXPECT_EQ(sim::cyclePeriod(1.0), 1000u);
+    EXPECT_EQ(sim::cyclePeriod(2.0), 500u);
+}
+
+TEST(Types, MaxTickIsLargest)
+{
+    EXPECT_GT(sim::maxTick, sim::oneSec * 1000000ull);
+}
+
+} // anonymous namespace

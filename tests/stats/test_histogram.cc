@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Histogram tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hh"
+#include "stats/registry.hh"
+
+namespace
+{
+
+class HistogramTest : public ::testing::Test
+{
+  protected:
+    stats::Registry reg;
+    stats::StatGroup group{reg, "g"};
+};
+
+TEST_F(HistogramTest, EmptyHistogram)
+{
+    stats::Histogram h(group, "h", "", 0.0, 100.0, 10);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST_F(HistogramTest, MeanMinMax)
+{
+    stats::Histogram h(group, "h", "", 0.0, 100.0, 10);
+    h.sample(10.0);
+    h.sample(20.0);
+    h.sample(60.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 30.0);
+    EXPECT_DOUBLE_EQ(h.minSample(), 10.0);
+    EXPECT_DOUBLE_EQ(h.maxSample(), 60.0);
+}
+
+TEST_F(HistogramTest, UnderflowAndOverflowBuckets)
+{
+    stats::Histogram h(group, "h", "", 10.0, 20.0, 5);
+    h.sample(5.0);   // underflow
+    h.sample(25.0);  // overflow
+    h.sample(15.0);  // middle
+    const auto &b = h.buckets();
+    EXPECT_EQ(b.front(), 1u);
+    EXPECT_EQ(b.back(), 1u);
+    std::uint64_t middle = 0;
+    for (std::size_t i = 1; i + 1 < b.size(); ++i)
+        middle += b[i];
+    EXPECT_EQ(middle, 1u);
+}
+
+TEST_F(HistogramTest, QuantileOfUniformSamples)
+{
+    stats::Histogram h(group, "h", "", 0.0, 1000.0, 100);
+    for (int i = 0; i < 1000; ++i)
+        h.sample(static_cast<double>(i));
+    EXPECT_NEAR(h.quantile(0.5), 500.0, 15.0);
+    EXPECT_NEAR(h.quantile(0.99), 990.0, 15.0);
+    EXPECT_NEAR(h.quantile(0.01), 10.0, 15.0);
+}
+
+TEST_F(HistogramTest, ResetClears)
+{
+    stats::Histogram h(group, "h", "", 0.0, 10.0, 5);
+    h.sample(4.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST_F(HistogramTest, ValueReportsMean)
+{
+    stats::Histogram h(group, "h", "", 0.0, 10.0, 5);
+    h.sample(2.0);
+    h.sample(4.0);
+    EXPECT_DOUBLE_EQ(h.value(), 3.0);
+}
+
+TEST_F(HistogramTest, BoundaryValuesLandInside)
+{
+    stats::Histogram h(group, "h", "", 0.0, 10.0, 10);
+    h.sample(0.0); // inclusive lower bound
+    h.sample(9.999999);
+    const auto &b = h.buckets();
+    EXPECT_EQ(b.front(), 0u); // no underflow
+    EXPECT_EQ(b.back(), 0u);  // no overflow
+}
+
+} // anonymous namespace

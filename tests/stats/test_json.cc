@@ -1,0 +1,117 @@
+/**
+ * @file
+ * JSON export tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/json.hh"
+
+namespace
+{
+
+TEST(JsonEscape, PassthroughAndSpecials)
+{
+    EXPECT_EQ(stats::jsonEscape("plain"), "plain");
+    EXPECT_EQ(stats::jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(stats::jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(stats::jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(stats::jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonRegistry, EmitsAllGroupsAndStats)
+{
+    stats::Registry reg;
+    stats::StatGroup g1(reg, "sys.llc"), g2(reg, "sys.dram");
+    stats::Counter c1(g1, "writebacks", "");
+    stats::Counter c2(g2, "reads", "");
+    c1 += 42;
+    c2 += 7;
+
+    std::ostringstream os;
+    stats::writeJson(os, reg);
+    const std::string out = os.str();
+
+    EXPECT_NE(out.find("\"sys.llc\":{\"writebacks\":42}"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("\"sys.dram\":{\"reads\":7}"),
+              std::string::npos);
+    EXPECT_EQ(out.front(), '{');
+    EXPECT_EQ(out.back(), '}');
+}
+
+TEST(JsonRegistry, EmptyRegistry)
+{
+    stats::Registry reg;
+    std::ostringstream os;
+    stats::writeJson(os, reg);
+    EXPECT_EQ(os.str(), "{\"groups\":{}}");
+}
+
+TEST(JsonRegistry, NonIntegerValues)
+{
+    stats::Registry reg;
+    stats::StatGroup g(reg, "g");
+    stats::Gauge gv(g, "ratio", "");
+    gv.set(0.125);
+
+    std::ostringstream os;
+    stats::writeJson(os, reg);
+    EXPECT_NE(os.str().find("\"ratio\":0.125"), std::string::npos);
+}
+
+TEST(JsonSeries, PointsAsPairs)
+{
+    stats::Series a("mlcWB");
+    a.append(10 * sim::oneUs, 1.5);
+    a.append(20 * sim::oneUs, 3.0);
+
+    std::ostringstream os;
+    stats::writeJson(os, {&a});
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"mlcWB\":[[10,1.5],[20,3]]"),
+              std::string::npos)
+        << out;
+}
+
+TEST(JsonSeries, EmptySeriesList)
+{
+    std::ostringstream os;
+    stats::writeJson(os, std::vector<const stats::Series *>{});
+    EXPECT_EQ(os.str(), "{\"series\":{}}");
+}
+
+TEST(JsonRegistry, BalancedBracesWholeSystem)
+{
+    // A crude structural check over a big registry: every brace and
+    // bracket closes.
+    stats::Registry reg;
+    std::vector<std::unique_ptr<stats::StatGroup>> groups;
+    std::vector<std::unique_ptr<stats::Counter>> counters;
+    for (int i = 0; i < 20; ++i) {
+        groups.push_back(std::make_unique<stats::StatGroup>(
+            reg, "group" + std::to_string(i)));
+        for (int j = 0; j < 5; ++j) {
+            counters.push_back(std::make_unique<stats::Counter>(
+                *groups.back(), "stat" + std::to_string(j), ""));
+        }
+    }
+
+    std::ostringstream os;
+    stats::writeJson(os, reg);
+    const std::string out = os.str();
+    int depth = 0;
+    for (char c : out) {
+        if (c == '{' || c == '[')
+            ++depth;
+        if (c == '}' || c == ']')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+} // anonymous namespace

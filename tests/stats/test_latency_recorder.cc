@@ -1,0 +1,95 @@
+/**
+ * @file
+ * LatencyRecorder exact-percentile tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/latency_recorder.hh"
+#include "stats/registry.hh"
+
+namespace
+{
+
+class LatencyTest : public ::testing::Test
+{
+  protected:
+    stats::Registry reg;
+    stats::StatGroup group{reg, "g"};
+    stats::LatencyRecorder rec{group, "lat", ""};
+};
+
+TEST_F(LatencyTest, EmptyReturnsZero)
+{
+    EXPECT_EQ(rec.percentile(50), 0u);
+    EXPECT_EQ(rec.p99(), 0u);
+    EXPECT_DOUBLE_EQ(rec.mean(), 0.0);
+    EXPECT_EQ(rec.maxSample(), 0u);
+}
+
+TEST_F(LatencyTest, SingleSample)
+{
+    rec.sample(123);
+    EXPECT_EQ(rec.p50(), 123u);
+    EXPECT_EQ(rec.p99(), 123u);
+    EXPECT_EQ(rec.maxSample(), 123u);
+    EXPECT_DOUBLE_EQ(rec.mean(), 123.0);
+}
+
+TEST_F(LatencyTest, ExactPercentilesOf100Values)
+{
+    // Values 1..100: nearest-rank p50 = 50, p99 = 99, p100 = 100.
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        rec.sample(v);
+    EXPECT_EQ(rec.percentile(50), 50u);
+    EXPECT_EQ(rec.percentile(99), 99u);
+    EXPECT_EQ(rec.percentile(100), 100u);
+    EXPECT_EQ(rec.percentile(1), 1u);
+}
+
+TEST_F(LatencyTest, OrderIndependent)
+{
+    rec.sample(30);
+    rec.sample(10);
+    rec.sample(20);
+    EXPECT_EQ(rec.p50(), 20u);
+}
+
+TEST_F(LatencyTest, SamplingAfterQueryStillWorks)
+{
+    rec.sample(10);
+    EXPECT_EQ(rec.p50(), 10u);
+    rec.sample(5);
+    rec.sample(1);
+    EXPECT_EQ(rec.p50(), 5u);
+}
+
+TEST_F(LatencyTest, TailDominatedDistribution)
+{
+    // 99 fast samples and one slow one: p99 must not be the outlier,
+    // p99.9 must be.
+    for (int i = 0; i < 999; ++i)
+        rec.sample(100);
+    rec.sample(100000);
+    EXPECT_EQ(rec.p99(), 100u);
+    EXPECT_EQ(rec.p999(), 100000u);
+}
+
+TEST_F(LatencyTest, CountAndReset)
+{
+    rec.sample(1);
+    rec.sample(2);
+    EXPECT_EQ(rec.count(), 2u);
+    rec.reset();
+    EXPECT_EQ(rec.count(), 0u);
+    EXPECT_EQ(rec.p50(), 0u);
+}
+
+TEST_F(LatencyTest, PercentileClamped)
+{
+    rec.sample(7);
+    EXPECT_EQ(rec.percentile(-5.0), 7u);
+    EXPECT_EQ(rec.percentile(250.0), 7u);
+}
+
+} // anonymous namespace

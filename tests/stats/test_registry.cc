@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Stats registry / group / counter tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/registry.hh"
+
+namespace
+{
+
+TEST(Registry, GroupRegistersAndUnregisters)
+{
+    stats::Registry reg;
+    {
+        stats::StatGroup g(reg, "system.foo");
+        EXPECT_EQ(reg.groups().size(), 1u);
+        EXPECT_EQ(reg.findGroup("system.foo"), &g);
+    }
+    EXPECT_TRUE(reg.groups().empty());
+    EXPECT_EQ(reg.findGroup("system.foo"), nullptr);
+}
+
+TEST(Registry, CounterBasics)
+{
+    stats::Registry reg;
+    stats::StatGroup g(reg, "g");
+    stats::Counter c(g, "events", "test counter");
+
+    EXPECT_EQ(c.get(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.get(), 42u);
+    EXPECT_DOUBLE_EQ(c.value(), 42.0);
+    c.reset();
+    EXPECT_EQ(c.get(), 0u);
+}
+
+TEST(Registry, GaugeBasics)
+{
+    stats::Registry reg;
+    stats::StatGroup g(reg, "g");
+    stats::Gauge gv(g, "value", "test gauge");
+    gv.set(3.25);
+    EXPECT_DOUBLE_EQ(gv.value(), 3.25);
+    gv.reset();
+    EXPECT_DOUBLE_EQ(gv.value(), 0.0);
+}
+
+TEST(Registry, FindStatByDottedPath)
+{
+    stats::Registry reg;
+    stats::StatGroup g(reg, "system.core0.mlc");
+    stats::Counter c(g, "hits", "hits");
+    ++c;
+
+    stats::Stat *found = reg.findStat("system.core0.mlc.hits");
+    ASSERT_NE(found, nullptr);
+    EXPECT_DOUBLE_EQ(found->value(), 1.0);
+
+    EXPECT_EQ(reg.findStat("system.core0.mlc.nope"), nullptr);
+    EXPECT_EQ(reg.findStat("missing.hits"), nullptr);
+    EXPECT_EQ(reg.findStat("nodots"), nullptr);
+}
+
+TEST(Registry, ResetAllClearsEverything)
+{
+    stats::Registry reg;
+    stats::StatGroup a(reg, "a"), b(reg, "b");
+    stats::Counter ca(a, "x", ""), cb(b, "y", "");
+    ca += 5;
+    cb += 7;
+    reg.resetAll();
+    EXPECT_EQ(ca.get(), 0u);
+    EXPECT_EQ(cb.get(), 0u);
+}
+
+TEST(Registry, StatsListedInDeclarationOrder)
+{
+    stats::Registry reg;
+    stats::StatGroup g(reg, "g");
+    stats::Counter c1(g, "first", ""), c2(g, "second", "");
+    ASSERT_EQ(g.statList().size(), 2u);
+    EXPECT_EQ(g.statList()[0]->name(), "first");
+    EXPECT_EQ(g.statList()[1]->name(), "second");
+}
+
+TEST(Registry, DumpContainsAllStats)
+{
+    stats::Registry reg;
+    stats::StatGroup g(reg, "sys.llc");
+    stats::Counter c(g, "writebacks", "LLC writebacks");
+    c += 9;
+
+    std::ostringstream os;
+    reg.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("sys.llc.writebacks"), std::string::npos);
+    EXPECT_NE(out.find("LLC writebacks"), std::string::npos);
+    EXPECT_NE(out.find("9"), std::string::npos);
+}
+
+TEST(Registry, ForEachVisitsAllPairs)
+{
+    stats::Registry reg;
+    stats::StatGroup a(reg, "a"), b(reg, "b");
+    stats::Counter c1(a, "x", ""), c2(a, "y", ""), c3(b, "z", "");
+    int visited = 0;
+    reg.forEach([&](const stats::StatGroup &, const stats::Stat &) {
+        ++visited;
+    });
+    EXPECT_EQ(visited, 3);
+}
+
+} // anonymous namespace
