@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_copy_mode.dir/ablation_copy_mode.cc.o"
+  "CMakeFiles/ablation_copy_mode.dir/ablation_copy_mode.cc.o.d"
+  "ablation_copy_mode"
+  "ablation_copy_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_copy_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_recycling.dir/ablation_recycling.cc.o"
+  "CMakeFiles/ablation_recycling.dir/ablation_recycling.cc.o.d"
+  "ablation_recycling"
+  "ablation_recycling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_recycling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_way_tuner.dir/ablation_way_tuner.cc.o"
+  "CMakeFiles/ablation_way_tuner.dir/ablation_way_tuner.cc.o.d"
+  "ablation_way_tuner"
+  "ablation_way_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_way_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_leaks.dir/fig04_leaks.cc.o"
+  "CMakeFiles/fig04_leaks.dir/fig04_leaks.cc.o.d"
+  "fig04_leaks"
+  "fig04_leaks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_leaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_leaks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_policies.dir/fig09_policies.cc.o"
+  "CMakeFiles/fig09_policies.dir/fig09_policies.cc.o.d"
+  "fig09_policies"
+  "fig09_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

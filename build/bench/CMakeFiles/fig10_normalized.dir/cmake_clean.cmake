@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_normalized.dir/fig10_normalized.cc.o"
+  "CMakeFiles/fig10_normalized.dir/fig10_normalized.cc.o.d"
+  "fig10_normalized"
+  "fig10_normalized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_normalized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

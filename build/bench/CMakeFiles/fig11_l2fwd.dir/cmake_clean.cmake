@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_l2fwd.dir/fig11_l2fwd.cc.o"
+  "CMakeFiles/fig11_l2fwd.dir/fig11_l2fwd.cc.o.d"
+  "fig11_l2fwd"
+  "fig11_l2fwd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_l2fwd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

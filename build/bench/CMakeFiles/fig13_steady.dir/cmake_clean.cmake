@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_steady.dir/fig13_steady.cc.o"
+  "CMakeFiles/fig13_steady.dir/fig13_steady.cc.o.d"
+  "fig13_steady"
+  "fig13_steady.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_steady.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

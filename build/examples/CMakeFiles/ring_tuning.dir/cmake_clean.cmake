@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_tuning.dir/ring_tuning.cpp.o"
+  "CMakeFiles/ring_tuning.dir/ring_tuning.cpp.o.d"
+  "ring_tuning"
+  "ring_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_dump.dir/stats_dump.cpp.o"
+  "CMakeFiles/stats_dump.dir/stats_dump.cpp.o.d"
+  "stats_dump"
+  "stats_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

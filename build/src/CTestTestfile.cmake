@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("stats")
+subdirs("mem")
+subdirs("cache")
+subdirs("net")
+subdirs("nic")
+subdirs("gen")
+subdirs("cpu")
+subdirs("dpdk")
+subdirs("nf")
+subdirs("idio")
+subdirs("harness")

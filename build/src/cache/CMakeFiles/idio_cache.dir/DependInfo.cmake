@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/directory.cc" "src/cache/CMakeFiles/idio_cache.dir/directory.cc.o" "gcc" "src/cache/CMakeFiles/idio_cache.dir/directory.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/cache/CMakeFiles/idio_cache.dir/hierarchy.cc.o" "gcc" "src/cache/CMakeFiles/idio_cache.dir/hierarchy.cc.o.d"
+  "/root/repo/src/cache/llc.cc" "src/cache/CMakeFiles/idio_cache.dir/llc.cc.o" "gcc" "src/cache/CMakeFiles/idio_cache.dir/llc.cc.o.d"
+  "/root/repo/src/cache/private_cache.cc" "src/cache/CMakeFiles/idio_cache.dir/private_cache.cc.o" "gcc" "src/cache/CMakeFiles/idio_cache.dir/private_cache.cc.o.d"
+  "/root/repo/src/cache/replacement.cc" "src/cache/CMakeFiles/idio_cache.dir/replacement.cc.o" "gcc" "src/cache/CMakeFiles/idio_cache.dir/replacement.cc.o.d"
+  "/root/repo/src/cache/tag_array.cc" "src/cache/CMakeFiles/idio_cache.dir/tag_array.cc.o" "gcc" "src/cache/CMakeFiles/idio_cache.dir/tag_array.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/idio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/idio_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/idio_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

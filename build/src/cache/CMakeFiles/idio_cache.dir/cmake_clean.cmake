@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idio_cache.dir/directory.cc.o"
+  "CMakeFiles/idio_cache.dir/directory.cc.o.d"
+  "CMakeFiles/idio_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/idio_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/idio_cache.dir/llc.cc.o"
+  "CMakeFiles/idio_cache.dir/llc.cc.o.d"
+  "CMakeFiles/idio_cache.dir/private_cache.cc.o"
+  "CMakeFiles/idio_cache.dir/private_cache.cc.o.d"
+  "CMakeFiles/idio_cache.dir/replacement.cc.o"
+  "CMakeFiles/idio_cache.dir/replacement.cc.o.d"
+  "CMakeFiles/idio_cache.dir/tag_array.cc.o"
+  "CMakeFiles/idio_cache.dir/tag_array.cc.o.d"
+  "libidio_cache.a"
+  "libidio_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idio_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

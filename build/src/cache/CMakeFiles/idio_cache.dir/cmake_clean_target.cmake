@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libidio_cache.a"
+)

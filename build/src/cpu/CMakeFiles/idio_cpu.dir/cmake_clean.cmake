@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idio_cpu.dir/core.cc.o"
+  "CMakeFiles/idio_cpu.dir/core.cc.o.d"
+  "libidio_cpu.a"
+  "libidio_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idio_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idio_dpdk.dir/mbuf.cc.o"
+  "CMakeFiles/idio_dpdk.dir/mbuf.cc.o.d"
+  "CMakeFiles/idio_dpdk.dir/rx_queue.cc.o"
+  "CMakeFiles/idio_dpdk.dir/rx_queue.cc.o.d"
+  "libidio_dpdk.a"
+  "libidio_dpdk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idio_dpdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libidio_dpdk.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idio_gen.dir/traffic.cc.o"
+  "CMakeFiles/idio_gen.dir/traffic.cc.o.d"
+  "libidio_gen.a"
+  "libidio_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idio_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idio_harness.dir/experiment_config.cc.o"
+  "CMakeFiles/idio_harness.dir/experiment_config.cc.o.d"
+  "CMakeFiles/idio_harness.dir/system.cc.o"
+  "CMakeFiles/idio_harness.dir/system.cc.o.d"
+  "CMakeFiles/idio_harness.dir/timeline.cc.o"
+  "CMakeFiles/idio_harness.dir/timeline.cc.o.d"
+  "libidio_harness.a"
+  "libidio_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idio_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idio_core.dir/config.cc.o"
+  "CMakeFiles/idio_core.dir/config.cc.o.d"
+  "CMakeFiles/idio_core.dir/controller.cc.o"
+  "CMakeFiles/idio_core.dir/controller.cc.o.d"
+  "CMakeFiles/idio_core.dir/prefetcher.cc.o"
+  "CMakeFiles/idio_core.dir/prefetcher.cc.o.d"
+  "CMakeFiles/idio_core.dir/way_tuner.cc.o"
+  "CMakeFiles/idio_core.dir/way_tuner.cc.o.d"
+  "libidio_core.a"
+  "libidio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idio_mem.dir/dram.cc.o"
+  "CMakeFiles/idio_mem.dir/dram.cc.o.d"
+  "libidio_mem.a"
+  "libidio_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idio_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/flow.cc" "src/net/CMakeFiles/idio_net.dir/flow.cc.o" "gcc" "src/net/CMakeFiles/idio_net.dir/flow.cc.o.d"
+  "/root/repo/src/net/headers.cc" "src/net/CMakeFiles/idio_net.dir/headers.cc.o" "gcc" "src/net/CMakeFiles/idio_net.dir/headers.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/net/CMakeFiles/idio_net.dir/packet.cc.o" "gcc" "src/net/CMakeFiles/idio_net.dir/packet.cc.o.d"
+  "/root/repo/src/net/pcap.cc" "src/net/CMakeFiles/idio_net.dir/pcap.cc.o" "gcc" "src/net/CMakeFiles/idio_net.dir/pcap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/idio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/idio_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

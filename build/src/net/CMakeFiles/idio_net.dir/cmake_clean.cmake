@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idio_net.dir/flow.cc.o"
+  "CMakeFiles/idio_net.dir/flow.cc.o.d"
+  "CMakeFiles/idio_net.dir/headers.cc.o"
+  "CMakeFiles/idio_net.dir/headers.cc.o.d"
+  "CMakeFiles/idio_net.dir/packet.cc.o"
+  "CMakeFiles/idio_net.dir/packet.cc.o.d"
+  "CMakeFiles/idio_net.dir/pcap.cc.o"
+  "CMakeFiles/idio_net.dir/pcap.cc.o.d"
+  "libidio_net.a"
+  "libidio_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idio_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

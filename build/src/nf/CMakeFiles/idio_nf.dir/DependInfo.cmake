@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nf/copy_touch_drop.cc" "src/nf/CMakeFiles/idio_nf.dir/copy_touch_drop.cc.o" "gcc" "src/nf/CMakeFiles/idio_nf.dir/copy_touch_drop.cc.o.d"
+  "/root/repo/src/nf/l2fwd.cc" "src/nf/CMakeFiles/idio_nf.dir/l2fwd.cc.o" "gcc" "src/nf/CMakeFiles/idio_nf.dir/l2fwd.cc.o.d"
+  "/root/repo/src/nf/llc_antagonist.cc" "src/nf/CMakeFiles/idio_nf.dir/llc_antagonist.cc.o" "gcc" "src/nf/CMakeFiles/idio_nf.dir/llc_antagonist.cc.o.d"
+  "/root/repo/src/nf/network_function.cc" "src/nf/CMakeFiles/idio_nf.dir/network_function.cc.o" "gcc" "src/nf/CMakeFiles/idio_nf.dir/network_function.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/idio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/idio_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpdk/CMakeFiles/idio_dpdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/idio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/idio_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/idio_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/idio_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/idio_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

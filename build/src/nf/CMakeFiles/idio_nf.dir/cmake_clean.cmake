@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idio_nf.dir/copy_touch_drop.cc.o"
+  "CMakeFiles/idio_nf.dir/copy_touch_drop.cc.o.d"
+  "CMakeFiles/idio_nf.dir/l2fwd.cc.o"
+  "CMakeFiles/idio_nf.dir/l2fwd.cc.o.d"
+  "CMakeFiles/idio_nf.dir/llc_antagonist.cc.o"
+  "CMakeFiles/idio_nf.dir/llc_antagonist.cc.o.d"
+  "CMakeFiles/idio_nf.dir/network_function.cc.o"
+  "CMakeFiles/idio_nf.dir/network_function.cc.o.d"
+  "libidio_nf.a"
+  "libidio_nf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idio_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

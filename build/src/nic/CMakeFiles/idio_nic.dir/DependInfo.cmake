@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nic/classifier.cc" "src/nic/CMakeFiles/idio_nic.dir/classifier.cc.o" "gcc" "src/nic/CMakeFiles/idio_nic.dir/classifier.cc.o.d"
+  "/root/repo/src/nic/dma.cc" "src/nic/CMakeFiles/idio_nic.dir/dma.cc.o" "gcc" "src/nic/CMakeFiles/idio_nic.dir/dma.cc.o.d"
+  "/root/repo/src/nic/flow_director.cc" "src/nic/CMakeFiles/idio_nic.dir/flow_director.cc.o" "gcc" "src/nic/CMakeFiles/idio_nic.dir/flow_director.cc.o.d"
+  "/root/repo/src/nic/nic.cc" "src/nic/CMakeFiles/idio_nic.dir/nic.cc.o" "gcc" "src/nic/CMakeFiles/idio_nic.dir/nic.cc.o.d"
+  "/root/repo/src/nic/tlp.cc" "src/nic/CMakeFiles/idio_nic.dir/tlp.cc.o" "gcc" "src/nic/CMakeFiles/idio_nic.dir/tlp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/idio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/idio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/idio_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/idio_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idio_nic.dir/classifier.cc.o"
+  "CMakeFiles/idio_nic.dir/classifier.cc.o.d"
+  "CMakeFiles/idio_nic.dir/dma.cc.o"
+  "CMakeFiles/idio_nic.dir/dma.cc.o.d"
+  "CMakeFiles/idio_nic.dir/flow_director.cc.o"
+  "CMakeFiles/idio_nic.dir/flow_director.cc.o.d"
+  "CMakeFiles/idio_nic.dir/nic.cc.o"
+  "CMakeFiles/idio_nic.dir/nic.cc.o.d"
+  "CMakeFiles/idio_nic.dir/tlp.cc.o"
+  "CMakeFiles/idio_nic.dir/tlp.cc.o.d"
+  "libidio_nic.a"
+  "libidio_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idio_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

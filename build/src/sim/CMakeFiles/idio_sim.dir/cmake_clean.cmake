@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idio_sim.dir/event_queue.cc.o"
+  "CMakeFiles/idio_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/idio_sim.dir/logging.cc.o"
+  "CMakeFiles/idio_sim.dir/logging.cc.o.d"
+  "CMakeFiles/idio_sim.dir/rng.cc.o"
+  "CMakeFiles/idio_sim.dir/rng.cc.o.d"
+  "CMakeFiles/idio_sim.dir/sim_object.cc.o"
+  "CMakeFiles/idio_sim.dir/sim_object.cc.o.d"
+  "CMakeFiles/idio_sim.dir/simulation.cc.o"
+  "CMakeFiles/idio_sim.dir/simulation.cc.o.d"
+  "libidio_sim.a"
+  "libidio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

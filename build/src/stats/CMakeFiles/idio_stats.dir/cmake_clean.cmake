@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idio_stats.dir/histogram.cc.o"
+  "CMakeFiles/idio_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/idio_stats.dir/json.cc.o"
+  "CMakeFiles/idio_stats.dir/json.cc.o.d"
+  "CMakeFiles/idio_stats.dir/latency_recorder.cc.o"
+  "CMakeFiles/idio_stats.dir/latency_recorder.cc.o.d"
+  "CMakeFiles/idio_stats.dir/registry.cc.o"
+  "CMakeFiles/idio_stats.dir/registry.cc.o.d"
+  "CMakeFiles/idio_stats.dir/series.cc.o"
+  "CMakeFiles/idio_stats.dir/series.cc.o.d"
+  "CMakeFiles/idio_stats.dir/table.cc.o"
+  "CMakeFiles/idio_stats.dir/table.cc.o.d"
+  "libidio_stats.a"
+  "libidio_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idio_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache.dir/cache/test_directory.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_directory.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_hierarchy_cpu.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_hierarchy_cpu.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_hierarchy_invalidate.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_hierarchy_invalidate.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_hierarchy_pcie.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_hierarchy_pcie.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_hierarchy_prefetch.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_hierarchy_prefetch.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_hierarchy_properties.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_hierarchy_properties.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_llc.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_llc.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_replacement.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_replacement.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_tag_array.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_tag_array.cc.o.d"
+  "test_cache"
+  "test_cache.pdb"
+  "test_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

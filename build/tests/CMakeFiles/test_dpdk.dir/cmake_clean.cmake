@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpdk.dir/dpdk/test_mbuf.cc.o"
+  "CMakeFiles/test_dpdk.dir/dpdk/test_mbuf.cc.o.d"
+  "CMakeFiles/test_dpdk.dir/dpdk/test_rx_queue.cc.o"
+  "CMakeFiles/test_dpdk.dir/dpdk/test_rx_queue.cc.o.d"
+  "test_dpdk"
+  "test_dpdk.pdb"
+  "test_dpdk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

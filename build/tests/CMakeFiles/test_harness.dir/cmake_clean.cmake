@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harness.dir/harness/test_experiment_config.cc.o"
+  "CMakeFiles/test_harness.dir/harness/test_experiment_config.cc.o.d"
+  "CMakeFiles/test_harness.dir/harness/test_system.cc.o"
+  "CMakeFiles/test_harness.dir/harness/test_system.cc.o.d"
+  "CMakeFiles/test_harness.dir/harness/test_timeline.cc.o"
+  "CMakeFiles/test_harness.dir/harness/test_timeline.cc.o.d"
+  "test_harness"
+  "test_harness.pdb"
+  "test_harness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/idio/test_config.cc" "tests/CMakeFiles/test_idio.dir/idio/test_config.cc.o" "gcc" "tests/CMakeFiles/test_idio.dir/idio/test_config.cc.o.d"
+  "/root/repo/tests/idio/test_controller.cc" "tests/CMakeFiles/test_idio.dir/idio/test_controller.cc.o" "gcc" "tests/CMakeFiles/test_idio.dir/idio/test_controller.cc.o.d"
+  "/root/repo/tests/idio/test_cpu_paced_prefetcher.cc" "tests/CMakeFiles/test_idio.dir/idio/test_cpu_paced_prefetcher.cc.o" "gcc" "tests/CMakeFiles/test_idio.dir/idio/test_cpu_paced_prefetcher.cc.o.d"
+  "/root/repo/tests/idio/test_fsm.cc" "tests/CMakeFiles/test_idio.dir/idio/test_fsm.cc.o" "gcc" "tests/CMakeFiles/test_idio.dir/idio/test_fsm.cc.o.d"
+  "/root/repo/tests/idio/test_prefetcher.cc" "tests/CMakeFiles/test_idio.dir/idio/test_prefetcher.cc.o" "gcc" "tests/CMakeFiles/test_idio.dir/idio/test_prefetcher.cc.o.d"
+  "/root/repo/tests/idio/test_way_tuner.cc" "tests/CMakeFiles/test_idio.dir/idio/test_way_tuner.cc.o" "gcc" "tests/CMakeFiles/test_idio.dir/idio/test_way_tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/idio_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/idio_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/idio_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpdk/CMakeFiles/idio_dpdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/idio_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/idio/CMakeFiles/idio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/idio_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/idio_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/idio_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/idio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/idio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/idio_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_idio.dir/idio/test_config.cc.o"
+  "CMakeFiles/test_idio.dir/idio/test_config.cc.o.d"
+  "CMakeFiles/test_idio.dir/idio/test_controller.cc.o"
+  "CMakeFiles/test_idio.dir/idio/test_controller.cc.o.d"
+  "CMakeFiles/test_idio.dir/idio/test_cpu_paced_prefetcher.cc.o"
+  "CMakeFiles/test_idio.dir/idio/test_cpu_paced_prefetcher.cc.o.d"
+  "CMakeFiles/test_idio.dir/idio/test_fsm.cc.o"
+  "CMakeFiles/test_idio.dir/idio/test_fsm.cc.o.d"
+  "CMakeFiles/test_idio.dir/idio/test_prefetcher.cc.o"
+  "CMakeFiles/test_idio.dir/idio/test_prefetcher.cc.o.d"
+  "CMakeFiles/test_idio.dir/idio/test_way_tuner.cc.o"
+  "CMakeFiles/test_idio.dir/idio/test_way_tuner.cc.o.d"
+  "test_idio"
+  "test_idio.pdb"
+  "test_idio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_idio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

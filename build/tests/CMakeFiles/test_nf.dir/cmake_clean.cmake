@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nf.dir/nf/test_antagonist.cc.o"
+  "CMakeFiles/test_nf.dir/nf/test_antagonist.cc.o.d"
+  "CMakeFiles/test_nf.dir/nf/test_copy_touch_drop.cc.o"
+  "CMakeFiles/test_nf.dir/nf/test_copy_touch_drop.cc.o.d"
+  "CMakeFiles/test_nf.dir/nf/test_network_functions.cc.o"
+  "CMakeFiles/test_nf.dir/nf/test_network_functions.cc.o.d"
+  "test_nf"
+  "test_nf.pdb"
+  "test_nf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nic.dir/nic/test_classifier.cc.o"
+  "CMakeFiles/test_nic.dir/nic/test_classifier.cc.o.d"
+  "CMakeFiles/test_nic.dir/nic/test_dma.cc.o"
+  "CMakeFiles/test_nic.dir/nic/test_dma.cc.o.d"
+  "CMakeFiles/test_nic.dir/nic/test_flow_director.cc.o"
+  "CMakeFiles/test_nic.dir/nic/test_flow_director.cc.o.d"
+  "CMakeFiles/test_nic.dir/nic/test_nic.cc.o"
+  "CMakeFiles/test_nic.dir/nic/test_nic.cc.o.d"
+  "CMakeFiles/test_nic.dir/nic/test_rx_ring.cc.o"
+  "CMakeFiles/test_nic.dir/nic/test_rx_ring.cc.o.d"
+  "CMakeFiles/test_nic.dir/nic/test_rx_tap.cc.o"
+  "CMakeFiles/test_nic.dir/nic/test_rx_tap.cc.o.d"
+  "CMakeFiles/test_nic.dir/nic/test_tlp.cc.o"
+  "CMakeFiles/test_nic.dir/nic/test_tlp.cc.o.d"
+  "test_nic"
+  "test_nic.pdb"
+  "test_nic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

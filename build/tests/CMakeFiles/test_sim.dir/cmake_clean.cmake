@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_event_queue.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_event_queue.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_periodic.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_periodic.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_rng.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_rng.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_types.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_types.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

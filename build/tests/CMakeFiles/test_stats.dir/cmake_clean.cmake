@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/stats/test_histogram.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_histogram.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_json.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_json.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_latency_recorder.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_latency_recorder.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_registry.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_registry.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_series.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_series.cc.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_table.cc.o"
+  "CMakeFiles/test_stats.dir/stats/test_table.cc.o.d"
+  "test_stats"
+  "test_stats.pdb"
+  "test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
