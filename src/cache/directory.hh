@@ -75,6 +75,9 @@ class MlcDirectory : public sim::SimObject
     /** Number of tracked lines. */
     std::uint64_t trackedLines() const { return array.countValid(); }
 
+    /** Read-only tag-array access (invariant checker, tests). */
+    const TagArray &tags() const { return array; }
+
     /** @{ Counters. */
     stats::Counter lookups;
     stats::Counter insertions;

@@ -415,7 +415,7 @@ MemoryHierarchy::pcieWrite(sim::Addr addr)
         evictLlcLine(*slot.line);
         ++sharedLlc->ddioWayEvictions;
     }
-    sharedLlc->tags().fill(slot, addr, true, true);
+    sharedLlc->tags().fill(slot, addr, true, true).ddioAlloc = true;
     ++sharedLlc->ddioAllocs;
 }
 

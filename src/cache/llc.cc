@@ -43,6 +43,25 @@ NonInclusiveLlc::NonInclusiveLlc(sim::Simulation &simulation,
                    assoc);
 }
 
+void
+NonInclusiveLlc::setDdioWays(std::uint32_t ways)
+{
+    if (ways == 0 || ways > array.assoc())
+        sim::fatal("setDdioWays(%u) out of range [1, %u]", ways,
+                   array.assoc());
+
+    // Grandfather lines that a shrink strands outside the partition:
+    // they were legally allocated under the old mask, so drop their
+    // ddioAlloc mark instead of tripping the confinement invariant.
+    if (ways < nDdioWays) {
+        for (std::uint32_t s = 0; s < array.numSets(); ++s) {
+            for (std::uint32_t w = ways; w < nDdioWays; ++w)
+                array.lineAt(s, w).ddioAlloc = false;
+        }
+    }
+    nDdioWays = ways;
+}
+
 std::uint64_t
 NonInclusiveLlc::ddioOccupancy() const
 {

@@ -47,16 +47,10 @@ class NonInclusiveLlc : public sim::SimObject
      * Re-partition at runtime (IAT-style dynamic DDIO allocation).
      * Lines already resident outside the new partition are untouched;
      * only future write-allocations are affected, as on real CAT
-     * reconfiguration.
+     * reconfiguration. (Their ddioAlloc marks are dropped so the
+     * way-confinement invariant keeps holding against the new mask.)
      */
-    void
-    setDdioWays(std::uint32_t ways)
-    {
-        if (ways == 0 || ways > array.assoc())
-            sim::fatal("setDdioWays(%u) out of range [1, %u]", ways,
-                       array.assoc());
-        nDdioWays = ways;
-    }
+    void setDdioWays(std::uint32_t ways);
 
     /** True when @p way is one of the DDIO ways. */
     bool isDdioWay(std::uint32_t way) const { return way < nDdioWays; }

@@ -103,6 +103,7 @@ TagArray::fill(const LineRef &slot, sim::Addr addr, bool dirty, bool io)
     l.dirty = dirty;
     l.io = io;
     l.prefetched = false;
+    l.ddioAlloc = false;
     l.sharers = 0;
     policy->fill(slot.set, slot.way);
     return l;
@@ -116,6 +117,7 @@ TagArray::invalidate(const LineRef &slot)
     l.dirty = false;
     l.io = false;
     l.prefetched = false;
+    l.ddioAlloc = false;
     l.sharers = 0;
 }
 

@@ -46,6 +46,14 @@ struct CacheLine
      */
     bool prefetched = false;
 
+    /**
+     * Set on LLC lines placed by a DDIO write-allocation and cleared
+     * when the line leaves or the partition shrinks past it. The
+     * invariant checker uses it to prove write-allocations stay
+     * confined to the configured DDIO ways.
+     */
+    bool ddioAlloc = false;
+
     /** Presence bit-vector; used only by the MLC directory. */
     std::uint64_t sharers = 0;
 };

@@ -5,7 +5,9 @@
 
 #include "system.hh"
 
+#include "cache/invariants.hh"
 #include "nf/copy_touch_drop.hh"
+#include "nic/invariants.hh"
 
 #include "sim/logging.hh"
 
@@ -130,6 +132,16 @@ TestSystem::TestSystem(const ExperimentConfig &config)
             sim_, "system.antag", *cores.back(), alloc,
             cfg.antagonist);
     }
+
+    // Runtime invariant checker: sweeps the whole model between
+    // events so a silent model bug panics instead of skewing figures.
+    checker = std::make_unique<sim::InvariantChecker>(
+        sim_, "system.checker", cfg.invariantCheckPeriod);
+    sim::registerEventQueueInvariants(*checker, sim_.eventq());
+    cache::registerCacheInvariants(*checker, *hier);
+    for (auto &n : nics)
+        nic::registerNicInvariants(*checker, *n);
+    checker->attach();
 
     recorder = std::make_unique<TimelineRecorder>(sim_);
 }

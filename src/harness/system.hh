@@ -28,6 +28,7 @@
 #include "nf/llc_antagonist.hh"
 #include "nf/touch_drop.hh"
 #include "nic/nic.hh"
+#include "sim/checker/invariant_checker.hh"
 #include "sim/simulation.hh"
 
 namespace harness
@@ -77,6 +78,7 @@ class TestSystem
     dpdk::Mempool &mempool(std::uint32_t i) { return *pools[i]; }
     gen::TrafficSource &trafficGen(std::uint32_t i) { return *gens[i]; }
     nf::LlcAntagonist *antagonist() { return antag.get(); }
+    sim::InvariantChecker &invariantChecker() { return *checker; }
     TimelineRecorder &timeline() { return *recorder; }
     mem::PhysAllocator &allocator() { return alloc; }
     const ExperimentConfig &config() const { return cfg; }
@@ -106,6 +108,7 @@ class TestSystem
     std::vector<std::unique_ptr<nf::NetworkFunction>> nfs;
     std::vector<std::unique_ptr<gen::TrafficSource>> gens;
     std::unique_ptr<nf::LlcAntagonist> antag;
+    std::unique_ptr<sim::InvariantChecker> checker;
     std::unique_ptr<TimelineRecorder> recorder;
 
     bool started = false;

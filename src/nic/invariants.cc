@@ -1,0 +1,93 @@
+/**
+ * @file
+ * NIC RX-ring invariant implementations.
+ */
+
+#include "invariants.hh"
+
+#include "nic/nic.hh"
+#include "nic/rx_ring.hh"
+
+namespace nic
+{
+
+namespace
+{
+
+std::string
+slotDesc(const std::string &label, std::uint32_t idx)
+{
+    return label + " slot " + std::to_string(idx);
+}
+
+} // namespace
+
+void
+checkRxRing(const RxRing &ring, const std::string &label,
+            sim::InvariantReport &report)
+{
+    const std::uint32_t n = ring.size();
+    std::uint32_t busyCount = 0;
+
+    // Per-slot state-machine legality.
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const RxSlot &s = ring.slot(i);
+        if (s.inFlight && s.dd) {
+            report.fail(slotDesc(label, i) +
+                        " is both in-flight and done");
+        }
+        if ((s.inFlight || s.dd) && !s.armed) {
+            report.fail(slotDesc(label, i) +
+                        " is busy without being armed (state machine "
+                        "violated)");
+        }
+        if (s.inFlight && s.bufAddr == 0) {
+            report.fail(slotDesc(label, i) +
+                        " has DMA in flight into an unposted buffer");
+        }
+        busyCount += (s.inFlight || s.dd);
+    }
+
+    // Window ordering: walking from the software head, the busy
+    // descriptors (claimed but not yet consumed) occupy exactly the
+    // range up to the hardware head. hwHead == swHead is legal only
+    // when the window is completely empty or completely full.
+    const std::uint32_t span =
+        (ring.hwHead() + n - ring.swHead()) % n;
+    if (span == 0 && busyCount != 0 && busyCount != n) {
+        report.fail(label + ": hw and sw heads coincide at " +
+                    std::to_string(ring.swHead()) + " but " +
+                    std::to_string(busyCount) + "/" +
+                    std::to_string(n) + " descriptors are busy");
+        return;
+    }
+    const std::uint32_t window = (span == 0 && busyCount == n) ? n
+                                                               : span;
+    for (std::uint32_t j = 0; j < n; ++j) {
+        const std::uint32_t idx = (ring.swHead() + j) % n;
+        const RxSlot &s = ring.slot(idx);
+        const bool busy = s.inFlight || s.dd;
+        if (j < window && !busy) {
+            report.fail(slotDesc(label, idx) +
+                        " is inside the hw/sw window but idle "
+                        "(ordering violated)");
+        } else if (j >= window && busy) {
+            report.fail(slotDesc(label, idx) +
+                        " is outside the hw/sw window but busy "
+                        "(ordering violated)");
+        }
+    }
+}
+
+void
+registerNicInvariants(sim::InvariantChecker &checker, Nic &nic)
+{
+    const std::string label = nic.name() + ".rx-ring";
+    checker.registerInvariant(
+        "nic.rx-ring[" + nic.name() + "]",
+        [&nic, label](sim::InvariantReport &r) {
+            checkRxRing(nic.rxRing(), label, r);
+        });
+}
+
+} // namespace nic

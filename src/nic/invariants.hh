@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Machine-checked invariants of the NIC RX path.
+ *
+ * The descriptor ring is a hardware/software contract with a strict
+ * state machine per slot (idle -> armed -> in-flight -> done -> idle)
+ * and a strict ordering discipline (the NIC fills armed descriptors in
+ * order; software consumes completed ones in order). The rules here
+ * let the runtime InvariantChecker prove both after every sweep:
+ *
+ *  - slot legality: a slot is never simultaneously in-flight and
+ *    done, and never in-flight or done without having been armed;
+ *  - posted buffers: DMA only ever targets a posted (armed, non-null)
+ *    buffer address;
+ *  - window ordering: exactly the descriptors between the software
+ *    head and the hardware head are busy (in-flight or done).
+ */
+
+#ifndef IDIO_NIC_INVARIANTS_HH
+#define IDIO_NIC_INVARIANTS_HH
+
+#include <string>
+
+#include "sim/checker/invariant_checker.hh"
+
+namespace nic
+{
+
+class Nic;
+class RxRing;
+
+/**
+ * Check every RX-ring invariant on @p ring, reporting violations with
+ * @p label as the ring's name. Exposed separately so unit tests can
+ * drive it against hand-corrupted rings.
+ */
+void checkRxRing(const RxRing &ring, const std::string &label,
+                 sim::InvariantReport &report);
+
+/** Register the RX-ring invariants of @p nic on @p checker. */
+void registerNicInvariants(sim::InvariantChecker &checker, Nic &nic);
+
+} // namespace nic
+
+#endif // IDIO_NIC_INVARIANTS_HH

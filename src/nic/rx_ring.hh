@@ -103,6 +103,9 @@ class RxRing
     }
     /** @} */
 
+    /** Index of the next descriptor the NIC will claim. */
+    std::uint32_t hwHead() const { return hwNext; }
+
     /** @{ Software (driver) side. */
 
     /** Index of the next descriptor software will examine. */

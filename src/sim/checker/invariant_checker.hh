@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Runtime invariant checker.
+ *
+ * The simulator's correctness rests on structural invariants (cache
+ * exclusivity, directory/tag consistency, descriptor-ring legality,
+ * event-time monotonicity) that a silent pointer bug can violate
+ * without crashing — producing plausible-but-wrong numbers. The
+ * InvariantChecker turns those invariants into machine-checked
+ * assertions: subsystems register named callbacks, and the checker
+ * sweeps all of them every N processed events via the EventQueue's
+ * post-event hook, so every sweep observes quiescent inter-event state.
+ * Any recorded failure panics with the full list of violations.
+ *
+ * Cost control: the whole subsystem is compiled down to no-ops when
+ * the build sets -DIDIO_CHECK_INVARIANTS=0 (CMake option
+ * IDIO_CHECK_INVARIANTS=OFF), and can be disabled at runtime with
+ * setEnabled(false) or a zero sweep period.
+ *
+ * Adding a new invariant (see DESIGN.md "Correctness tooling"):
+ * write a `void(sim::InvariantReport &)` callback that calls
+ * `report.fail(...)` for each violation it finds, and register it with
+ * `checker.registerInvariant("subsystem.rule-name", fn)`.
+ */
+
+#ifndef IDIO_SIM_CHECKER_INVARIANT_CHECKER_HH
+#define IDIO_SIM_CHECKER_INVARIANT_CHECKER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/sim_object.hh"
+#include "sim/types.hh"
+#include "stats/registry.hh"
+
+#ifndef IDIO_CHECK_INVARIANTS
+#define IDIO_CHECK_INVARIANTS 1
+#endif
+
+namespace sim
+{
+
+class EventQueue;
+
+/**
+ * Collector handed to every invariant callback; each detected
+ * violation is recorded with fail(). An invariant that records nothing
+ * passed.
+ */
+class InvariantReport
+{
+  public:
+    /** Record one violation. @p message should name the broken rule
+     *  and the offending state (address, slot index, tick...). */
+    void fail(std::string message)
+    {
+        messages.push_back(std::move(message));
+    }
+
+    /** True when no violation has been recorded. */
+    bool clean() const { return messages.empty(); }
+
+    /** All recorded violation messages. */
+    const std::vector<std::string> &failures() const { return messages; }
+
+  private:
+    std::vector<std::string> messages;
+};
+
+/**
+ * SimObject that owns the registered invariants and runs them
+ * periodically (every N processed events) or on demand via check().
+ */
+class InvariantChecker : public SimObject
+{
+    stats::StatGroup statGroup;
+
+  public:
+    /** An invariant callback: inspect model state, report failures. */
+    using Invariant = std::function<void(InvariantReport &)>;
+
+    /** False when the build compiled the checker out. */
+    static constexpr bool compiledIn = (IDIO_CHECK_INVARIANTS != 0);
+
+    /**
+     * @param periodEvents Run a sweep every this many processed events
+     *        once attach()ed; 0 disables periodic sweeps (check() still
+     *        works).
+     */
+    InvariantChecker(Simulation &simulation, const std::string &name,
+                     std::uint64_t periodEvents = 4096);
+
+    ~InvariantChecker() override;
+
+    /** Register @p fn under @p invName (used in violation reports). */
+    void registerInvariant(std::string invName, Invariant fn);
+
+    /** Number of registered invariants. */
+    std::size_t numInvariants() const { return invariants.size(); }
+
+    /**
+     * Install the periodic sweep on the simulation's event queue.
+     * No-op when compiled out or the period is 0.
+     */
+    void attach();
+
+    /** Remove the periodic sweep hook. */
+    void detach();
+
+    /**
+     * Run one full sweep immediately. panic()s listing every violation
+     * when any invariant fails. No-op when compiled out or disabled.
+     */
+    void check();
+
+    /** Runtime kill switch (independent of the compile-time gate). */
+    void setEnabled(bool on) { isEnabled = on; }
+
+    /** True when sweeps actually evaluate invariants. */
+    bool enabled() const { return compiledIn && isEnabled; }
+
+    /** Sweep period in processed events (0 = periodic sweeps off). */
+    std::uint64_t periodEvents() const { return period; }
+
+    /** @{ Counters (acceptance: every invariant evaluated >= once
+     *  iff sweeps.get() >= 1 and evaluations == sweeps*numInvariants). */
+    stats::Counter sweeps;      ///< completed full sweeps
+    stats::Counter evaluations; ///< individual invariant evaluations
+    stats::Counter violations;  ///< failures recorded (then panicking)
+    /** @} */
+
+  private:
+    struct NamedInvariant
+    {
+        std::string name;
+        Invariant fn;
+    };
+
+    std::vector<NamedInvariant> invariants;
+    std::uint64_t period;
+    bool isEnabled = true;
+    EventQueue *attachedTo = nullptr;
+};
+
+/**
+ * Register the event-queue invariants on @p checker:
+ *  - no live pending event is scheduled before the current tick;
+ *  - simulated time never moves backwards between sweeps.
+ */
+void registerEventQueueInvariants(InvariantChecker &checker,
+                                  EventQueue &eq);
+
+} // namespace sim
+
+#endif // IDIO_SIM_CHECKER_INVARIANT_CHECKER_HH

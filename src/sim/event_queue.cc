@@ -5,6 +5,8 @@
 
 #include "event_queue.hh"
 
+#include <memory>
+
 namespace sim
 {
 
@@ -20,17 +22,34 @@ Event::~Event()
 
 EventQueue::~EventQueue()
 {
-    // Drop remaining entries, freeing owned lambda events.
-    while (!heap.empty()) {
-        Entry e = heap.top();
-        heap.pop();
-        if (e.owned) {
-            e.ev->_scheduled = false;
+    // Drop remaining entries, freeing owned lambda events. Squashed
+    // entries are null (deschedule() wipes them so a destroyed Event
+    // never leaves a dangling pointer here); live non-owned entries
+    // must be unmarked so their owners can destroy them afterwards.
+    for (Entry &e : heap) {
+        if (!e.ev)
+            continue;
+        e.ev->_scheduled = false;
+        if (e.owned)
             delete e.ev;
-        } else if (e.ev->_scheduled && e.ev->_seq == e.seq) {
-            e.ev->_scheduled = false;
-        }
     }
+    heap.clear();
+}
+
+void
+EventQueue::push(Entry e)
+{
+    heap.push_back(e);
+    std::push_heap(heap.begin(), heap.end(), EntryAfter{});
+}
+
+EventQueue::Entry
+EventQueue::popTop()
+{
+    std::pop_heap(heap.begin(), heap.end(), EntryAfter{});
+    Entry e = heap.back();
+    heap.pop_back();
+    return e;
 }
 
 void
@@ -46,7 +65,7 @@ EventQueue::schedule(Event *ev, Tick when)
     ev->_scheduled = true;
     ev->_when = when;
     ev->_seq = nextSeq;
-    heap.push(Entry{when, nextSeq++, ev, false});
+    push(Entry{when, nextSeq++, ev, false});
 }
 
 void
@@ -54,6 +73,17 @@ EventQueue::deschedule(Event *ev)
 {
     if (!ev->_scheduled)
         panic("descheduling unscheduled event '%s'", ev->name().c_str());
+    // Null the heap entry in place: once descheduled, the owner may
+    // destroy the Event immediately, so the queue must not keep the
+    // pointer. O(pending), but descheduling only happens at stop/idle
+    // transitions. Nulling does not disturb the heap order (ordering
+    // keys are when/seq only).
+    for (Entry &e : heap) {
+        if (e.ev == ev && e.seq == ev->_seq) {
+            e.ev = nullptr;
+            break;
+        }
+    }
     ev->_scheduled = false;
     ++squashedCount;
 }
@@ -64,11 +94,22 @@ EventQueue::schedule(Tick when, std::function<void()> fn)
     if (when < curTick)
         panic("lambda event scheduled in the past (%llu < %llu)",
               (unsigned long long)when, (unsigned long long)curTick);
-    auto *ev = new LambdaEvent(std::move(fn));
+    auto ev = std::make_unique<LambdaEvent>(std::move(fn));
     ev->_scheduled = true;
     ev->_when = when;
     ev->_seq = nextSeq;
-    heap.push(Entry{when, nextSeq++, ev, true});
+    push(Entry{when, nextSeq++, ev.release(), true});
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    Tick earliest = maxTick;
+    for (const Entry &e : heap) {
+        if (!squashed(e) && e.when < earliest)
+            earliest = e.when;
+    }
+    return earliest;
 }
 
 std::uint64_t
@@ -76,12 +117,11 @@ EventQueue::runUntil(Tick limit)
 {
     std::uint64_t processed = 0;
     while (!heap.empty()) {
-        const Entry &top = heap.top();
+        const Entry &top = heap.front();
 
         // Skip squashed (descheduled or rescheduled) entries.
-        if (!top.owned &&
-            (!top.ev->_scheduled || top.ev->_seq != top.seq)) {
-            heap.pop();
+        if (squashed(top)) {
+            popTop();
             --squashedCount;
             continue;
         }
@@ -89,8 +129,7 @@ EventQueue::runUntil(Tick limit)
         if (top.when > limit)
             break;
 
-        Entry e = top;
-        heap.pop();
+        Entry e = popTop();
         curTick = e.when;
         e.ev->_scheduled = false;
         e.ev->process();
@@ -98,6 +137,11 @@ EventQueue::runUntil(Tick limit)
             delete e.ev;
         ++processed;
         ++nProcessed;
+
+        if (hookEvery && ++sinceHook >= hookEvery) {
+            sinceHook = 0;
+            postEventHook();
+        }
     }
     if (curTick < limit && limit != maxTick)
         curTick = limit;

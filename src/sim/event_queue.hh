@@ -7,14 +7,18 @@
  * which makes simulations fully deterministic. Components either
  * schedule one-shot std::function callbacks or derive from Event for
  * reschedulable events (e.g.\ periodic control-plane sampling).
+ *
+ * The queue also carries the hook the runtime invariant checker hangs
+ * off: a callback invoked every N processed events, between events, so
+ * whole-model sweeps observe only quiescent (post-transaction) state.
  */
 
 #ifndef IDIO_SIM_EVENT_QUEUE_HH
 #define IDIO_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -114,6 +118,13 @@ class EventQueue
     bool empty() const { return pending() == 0; }
 
     /**
+     * Tick of the earliest live (not descheduled) pending event, or
+     * maxTick when the queue is empty. O(pending); meant for the
+     * invariant checker and tests, not for hot paths.
+     */
+    Tick nextEventTick() const;
+
+    /**
      * Run until the queue drains or simulated time would pass @p limit.
      * Events scheduled exactly at @p limit still fire.
      *
@@ -127,7 +138,29 @@ class EventQueue
     /** Total events processed over the queue's lifetime. */
     std::uint64_t processedEvents() const { return nProcessed; }
 
+    /**
+     * Install a callback invoked after every @p everyNEvents processed
+     * events (the invariant-checker hang point). The hook runs between
+     * events: all model state is quiescent when it fires. Passing an
+     * empty function or @p everyNEvents == 0 uninstalls the hook.
+     */
+    void
+    setPostEventHook(std::uint64_t everyNEvents,
+                     std::function<void()> hook)
+    {
+        if (everyNEvents == 0 || !hook) {
+            hookEvery = 0;
+            postEventHook = nullptr;
+        } else {
+            hookEvery = everyNEvents;
+            postEventHook = std::move(hook);
+        }
+        sinceHook = 0;
+    }
+
   private:
+    friend struct EventQueueTestAccess;
+
     struct Entry
     {
         Tick when;
@@ -142,14 +175,56 @@ class EventQueue
         }
     };
 
-    using Heap = std::priority_queue<Entry, std::vector<Entry>,
-                                     std::greater<Entry>>;
+    /** Min-heap ordering for std::push_heap/std::pop_heap. */
+    struct EntryAfter
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            return a > b;
+        }
+    };
 
-    Heap heap;
+    /**
+     * True when a heap entry no longer refers to a live schedule.
+     * deschedule() nulls the entry's pointer eagerly — the owner may
+     * destroy the Event as soon as it is descheduled, so a squashed
+     * entry must never be dereferenced.
+     */
+    static bool squashed(const Entry &e) { return e.ev == nullptr; }
+
+    void push(Entry e);
+    Entry popTop();
+
+    // Kept as a plain vector managed with the <algorithm> heap
+    // primitives (rather than std::priority_queue) so nextEventTick()
+    // and the invariant checker can inspect pending entries in place.
+    std::vector<Entry> heap;
     Tick curTick = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t nProcessed = 0;
     std::size_t squashedCount = 0;
+
+    std::uint64_t hookEvery = 0;
+    std::uint64_t sinceHook = 0;
+    std::function<void()> postEventHook;
+};
+
+/**
+ * Test-only access to EventQueue internals.
+ *
+ * Exists solely so the invariant-checker unit tests can corrupt the
+ * time base and prove the checker catches it; production code must
+ * never touch it.
+ */
+struct EventQueueTestAccess
+{
+    /** Force the current tick, bypassing all monotonicity checks. */
+    static void
+    setCurTick(EventQueue &eq, Tick t)
+    {
+        eq.curTick = t;
+    }
 };
 
 } // namespace sim

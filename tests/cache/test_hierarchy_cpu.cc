@@ -182,8 +182,9 @@ TEST_F(HierarchyTest, WayPartitionRestrictsCpuAllocations)
         h2.coreRead(0, 0x40000000 + i * mem::lineSize);
 
     auto ref = h2.llc().probe(0x1000);
-    if (ref)
+    if (ref) {
         EXPECT_EQ(ref.way, 2u);
+    }
     // Every valid non-DDIO line inserted by core 0 sits in way 2;
     // count occupancy of other non-DDIO ways.
     const auto offMask = h2.llc().tags().countValid(
@@ -227,8 +228,9 @@ TEST_F(HierarchyTest, DirectoryCapacityBackInvalidatesMlc)
     for (std::uint32_t s = 0; s < tags.numSets(); ++s) {
         for (std::uint32_t w = 0; w < tags.assoc(); ++w) {
             const auto &l = tags.lineAt(s, w);
-            if (l.valid)
+            if (l.valid) {
                 EXPECT_TRUE(h2.directory().isTracked(l.addr));
+            }
         }
     }
 }

@@ -29,6 +29,33 @@ TEST(EndToEnd, BurstyTouchDropProcessesFullBursts)
     EXPECT_EQ(t.processedPackets, t.rxPackets);
 }
 
+TEST(EndToEnd, InvariantCheckerSweepsTheWholeRun)
+{
+    // Acceptance gate for the correctness tooling: a full end-to-end
+    // run must evaluate every registered invariant at least once, with
+    // zero violations (a violation would have panicked the run).
+    harness::ExperimentConfig cfg;
+    cfg.numNfs = 2;
+    cfg.traffic = harness::TrafficKind::Bursty;
+    cfg.rateGbps = 25.0;
+    cfg.applyPolicy(idio::Policy::Idio);
+
+    harness::TestSystem sys(cfg);
+    sys.start();
+    sys.runFor(25 * sim::oneMs);
+
+    auto &chk = sys.invariantChecker();
+    EXPECT_GT(chk.numInvariants(), 0u);
+    if (sim::InvariantChecker::compiledIn) {
+        EXPECT_GE(chk.sweeps.get(), 1u)
+            << "the periodic hook never fired";
+        EXPECT_EQ(chk.evaluations.get(),
+                  chk.sweeps.get() * chk.numInvariants())
+            << "some registered invariant was skipped";
+        EXPECT_EQ(chk.violations.get(), 0u);
+    }
+}
+
 TEST(EndToEnd, SteadyOverloadDropsPackets)
 {
     harness::ExperimentConfig cfg;
