@@ -13,14 +13,63 @@
 #define IDIO_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 
+#include "harness/sweep.hh"
 #include "harness/system.hh"
+#include "stats/json.hh"
 #include "stats/table.hh"
 
 namespace bench
 {
+
+/**
+ * Command-line options shared by every figure bench.
+ *
+ *   --jobs=N    run the config sweep on N threads (0 = all host
+ *               hardware threads). Results are collected in config
+ *               order and are bit-identical to a serial run.
+ *   --json=FILE additionally write every measured row to FILE as JSON
+ *               for plotting scripts and CI trend tracking.
+ */
+struct BenchOptions
+{
+    unsigned jobs = 1;
+    std::string jsonPath;
+};
+
+inline BenchOptions
+parseBenchOptions(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--jobs=", 0) == 0) {
+            const unsigned n = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 7, nullptr, 10));
+            opts.jobs = n ? n : harness::SweepRunner::hardwareJobs();
+        } else if (arg.rfind("--json=", 0) == 0) {
+            opts.jsonPath = arg.substr(7);
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: %s [--jobs=N] [--json=FILE]\n"
+                "  --jobs=N    parallel sweep threads "
+                "(0 = all %u host threads; results identical)\n"
+                "  --json=FILE write measured rows as JSON\n",
+                argv[0], harness::SweepRunner::hardwareJobs());
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "%s: unknown option '%s' "
+                         "(try --help)\n", argv[0], arg.c_str());
+            std::exit(2);
+        }
+    }
+    return opts;
+}
 
 /** Everything measured from one run. */
 struct RunMetrics
@@ -113,6 +162,107 @@ runFor(const harness::ExperimentConfig &cfg, sim::Tick duration)
         m.antagonistTpa = sys.antagonist()->ticksPerAccess();
     return m;
 }
+
+/**
+ * One labelled experiment of a sweep: the config plus the caller's
+ * row identity, carried through SweepRunner so printing can happen
+ * after the parallel phase without re-deriving loop state.
+ */
+struct SweepCase
+{
+    std::string label;
+    harness::ExperimentConfig cfg;
+};
+
+/**
+ * Run every case through @p fn on @p jobs threads (SweepRunner) and
+ * return metrics in case order.
+ */
+template <typename Fn>
+inline std::vector<RunMetrics>
+runSweep(const std::vector<SweepCase> &cases, unsigned jobs, Fn &&fn)
+{
+    harness::SweepRunner runner(jobs);
+    return runner.map(cases, [&](const SweepCase &c) {
+        return fn(c.cfg);
+    });
+}
+
+/** runSweep with the default single-burst measurement. */
+inline std::vector<RunMetrics>
+runSweepSingleBurst(const std::vector<SweepCase> &cases, unsigned jobs)
+{
+    return runSweep(cases, jobs, [](const harness::ExperimentConfig &c) {
+        return runSingleBurst(c);
+    });
+}
+
+/**
+ * Optional JSON sidecar for a bench run: one object with the bench
+ * name, the job count, and an array of per-case metric rows. Inactive
+ * (all no-ops) when the path is empty.
+ */
+class JsonReport
+{
+  public:
+    JsonReport(const std::string &path, const std::string &benchName,
+               unsigned jobs)
+    {
+        if (path.empty())
+            return;
+        ofs.open(path);
+        if (!ofs)
+            sim::fatal("cannot open JSON output file '%s'",
+                       path.c_str());
+        writer = std::make_unique<stats::JsonWriter>(ofs);
+        writer->beginObject();
+        writer->field("bench", benchName);
+        writer->field("jobs", jobs);
+        writer->beginArray("rows");
+    }
+
+    ~JsonReport()
+    {
+        if (!writer)
+            return;
+        writer->end(); // rows
+        writer->end(); // top-level object
+        ofs << "\n";
+    }
+
+    /** Append one measured row. */
+    void
+    row(const SweepCase &c, const RunMetrics &m)
+    {
+        if (!writer)
+            return;
+        stats::JsonWriter &w = *writer;
+        w.beginObject();
+        w.field("label", c.label);
+        w.field("rateGbps", c.cfg.rateGbps);
+        w.field("seed", c.cfg.seed);
+        w.field("mlcWB", m.totals.mlcWritebacks);
+        w.field("nfMlcWB", m.totals.nfMlcWritebacks);
+        w.field("mlcPcieInvals", m.totals.mlcPcieInvals);
+        w.field("llcWB", m.totals.llcWritebacks);
+        w.field("dramRd", m.totals.dramReads);
+        w.field("dramWr", m.totals.dramWrites);
+        w.field("rxPackets", m.totals.rxPackets);
+        w.field("rxDrops", m.totals.rxDrops);
+        w.field("processedPackets", m.totals.processedPackets);
+        w.field("execTimeUs", sim::ticksToUs(m.execTime()));
+        w.field("p50Us", sim::ticksToUs(m.p50));
+        w.field("p99Us", sim::ticksToUs(m.p99));
+        w.field("antagonistTpa", m.antagonistTpa);
+        w.end();
+    }
+
+    explicit operator bool() const { return writer != nullptr; }
+
+  private:
+    std::ofstream ofs;
+    std::unique_ptr<stats::JsonWriter> writer;
+};
 
 /** "x.xx" ratio of two counters, "-" when the base is zero. */
 inline std::string

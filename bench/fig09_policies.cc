@@ -39,23 +39,43 @@ fig9Config(idio::Policy policy, double gbps)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::parseBenchOptions(argc, argv);
+
     std::printf("=== Figure 9: policy comparison over one burst "
                 "(2x TouchDrop, ring 1024, 1514 B) ===\n");
     bench::printConfigEcho(fig9Config(idio::Policy::Ddio, 100.0));
 
-    for (double gbps : {100.0, 25.0}) {
+    const auto policies = {
+        idio::Policy::Ddio, idio::Policy::InvalidateOnly,
+        idio::Policy::PrefetchOnly, idio::Policy::Static,
+        idio::Policy::Idio};
+    const auto rates = {100.0, 25.0};
+
+    std::vector<bench::SweepCase> cases;
+    for (double gbps : rates) {
+        for (auto policy : policies) {
+            cases.push_back({std::string(idio::policyName(policy)) +
+                                 " " + stats::TablePrinter::num(gbps, 0)
+                                 + "G",
+                             fig9Config(policy, gbps)});
+        }
+    }
+
+    const auto results = bench::runSweepSingleBurst(cases, opts.jobs);
+    bench::JsonReport report(opts.jsonPath, "fig09", opts.jobs);
+
+    std::size_t i = 0;
+    for (double gbps : rates) {
         std::printf("--- burst rate %.0f Gbps ---\n", gbps);
         stats::TablePrinter table({"config", "mlcWB", "llcWB",
                                    "dramRd", "dramWr", "exec ms",
                                    "p99 us"});
-        for (auto policy :
-             {idio::Policy::Ddio, idio::Policy::InvalidateOnly,
-              idio::Policy::PrefetchOnly, idio::Policy::Static,
-              idio::Policy::Idio}) {
-            const auto m =
-                bench::runSingleBurst(fig9Config(policy, gbps));
+        for (auto policy : policies) {
+            const auto &m = results[i];
+            report.row(cases[i], m);
+            ++i;
             table.addRow(
                 {idio::policyName(policy),
                  std::to_string(m.totals.mlcWritebacks),

@@ -34,27 +34,58 @@ fig10Config(idio::Policy policy, double gbps, bool antagonist)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::parseBenchOptions(argc, argv);
+
     std::printf("=== Figure 10: Static and IDIO normalised to DDIO "
                 "===\n");
     bench::printConfigEcho(fig10Config(idio::Policy::Ddio, 100.0,
                                        false));
 
+    // One scenario = a DDIO baseline plus the two IDIO variants; all
+    // 18 runs are independent and sweep in parallel.
+    struct Scenario
+    {
+        const char *name;
+        bool antagonist;
+        double gbps;
+    };
+    const std::vector<Scenario> scenarios = {
+        {"solo", false, 100.0},   {"solo", false, 25.0},
+        {"solo", false, 10.0},    {"co-run", true, 100.0},
+        {"co-run", true, 25.0},   {"co-run", true, 10.0}};
+    const auto policies = {idio::Policy::Ddio, idio::Policy::Static,
+                           idio::Policy::Idio};
+
+    std::vector<bench::SweepCase> cases;
+    for (const auto &sc : scenarios) {
+        for (auto policy : policies) {
+            cases.push_back(
+                {std::string(sc.name) + " " +
+                     stats::TablePrinter::num(sc.gbps, 0) + "G " +
+                     idio::policyName(policy),
+                 fig10Config(policy, sc.gbps, sc.antagonist)});
+        }
+    }
+
+    const auto results = bench::runSweepSingleBurst(cases, opts.jobs);
+    bench::JsonReport report(opts.jsonPath, "fig10", opts.jobs);
+    for (std::size_t i = 0; i < cases.size(); ++i)
+        report.row(cases[i], results[i]);
+
     stats::TablePrinter table({"scenario", "config", "nfMlcWB", "llcWB",
                                "dramRd", "dramWr", "exeTime",
                                "antagCPI"});
 
-    auto addRows = [&](const char *scenario, bool antagonist,
-                       double gbps) {
-        const auto base = bench::runSingleBurst(
-            fig10Config(idio::Policy::Ddio, gbps, antagonist));
+    std::size_t i = 0;
+    for (const auto &sc : scenarios) {
+        const auto &base = results[i++]; // DDIO row of this scenario
         for (auto policy : {idio::Policy::Static, idio::Policy::Idio}) {
-            const auto m = bench::runSingleBurst(
-                fig10Config(policy, gbps, antagonist));
+            const auto &m = results[i++];
             table.addRow(
-                {std::string(scenario) + " " +
-                     stats::TablePrinter::num(gbps, 0) + "G",
+                {std::string(sc.name) + " " +
+                     stats::TablePrinter::num(sc.gbps, 0) + "G",
                  idio::policyName(policy),
                  bench::ratio(m.totals.nfMlcWritebacks,
                               base.totals.nfMlcWritebacks),
@@ -65,17 +96,12 @@ main()
                  bench::ratio(m.totals.dramWrites,
                               base.totals.dramWrites),
                  bench::ratio(m.execTime(), base.execTime()),
-                 antagonist
+                 sc.antagonist
                      ? stats::TablePrinter::num(
                            m.antagonistTpa / base.antagonistTpa, 2)
                      : "-"});
         }
-    };
-
-    for (double gbps : {100.0, 25.0, 10.0})
-        addRows("solo", false, gbps);
-    for (double gbps : {100.0, 25.0, 10.0})
-        addRows("co-run", true, gbps);
+    }
 
     table.print(std::cout);
 

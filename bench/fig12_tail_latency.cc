@@ -30,43 +30,57 @@ fig12Config(idio::Policy policy, double gbps, bool antagonist)
     return cfg;
 }
 
-struct LatencyPair
+/** Four burst periods; NF 0's distribution represents both NFs. */
+bench::RunMetrics
+measure(const harness::ExperimentConfig &cfg)
 {
-    std::uint64_t p50;
-    std::uint64_t p99;
-};
-
-LatencyPair
-measure(idio::Policy policy, double gbps, bool antagonist)
-{
-    harness::TestSystem sys(fig12Config(policy, gbps, antagonist));
-    sys.start();
-    sys.runFor(40 * sim::oneMs); // four burst periods
-
-    // The two NFs are symmetric and the run is deterministic; NF 0's
-    // distribution represents both.
-    return {sys.nf(0).latency.p50(), sys.nf(0).latency.p99()};
+    return bench::runFor(cfg, 40 * sim::oneMs);
 }
 
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::parseBenchOptions(argc, argv);
+
     std::printf("=== Figure 12: p50/p99 latency, normalised to DDIO "
                 "solo ===\n");
     bench::printConfigEcho(fig12Config(idio::Policy::Ddio, 25.0,
                                        false));
 
+    const auto rates = {100.0, 25.0, 10.0};
+
+    std::vector<bench::SweepCase> cases;
+    for (double gbps : rates) {
+        for (bool antagonist : {false, true}) {
+            for (auto policy :
+                 {idio::Policy::Ddio, idio::Policy::Idio}) {
+                cases.push_back(
+                    {stats::TablePrinter::num(gbps, 0) + "G " +
+                         (antagonist ? "co-run " : "solo ") +
+                         idio::policyName(policy),
+                     fig12Config(policy, gbps, antagonist)});
+            }
+        }
+    }
+
+    const auto results = bench::runSweep(cases, opts.jobs, measure);
+    bench::JsonReport report(opts.jsonPath, "fig12", opts.jobs);
+    for (std::size_t i = 0; i < cases.size(); ++i)
+        report.row(cases[i], results[i]);
+
     stats::TablePrinter table({"rate", "scenario", "config",
                                "p50 (norm)", "p99 (norm)", "p50 us",
                                "p99 us"});
 
-    for (double gbps : {100.0, 25.0, 10.0}) {
-        const auto base = measure(idio::Policy::Ddio, gbps, false);
+    std::size_t i = 0;
+    for (double gbps : rates) {
+        const auto &base = results[i]; // DDIO solo of this rate
         for (bool antagonist : {false, true}) {
             for (auto policy :
                  {idio::Policy::Ddio, idio::Policy::Idio}) {
+                const auto &m = results[i++];
                 if (policy == idio::Policy::Ddio && !antagonist) {
                     table.addRow(
                         {stats::TablePrinter::num(gbps, 0) + "G",
@@ -77,7 +91,6 @@ main()
                              sim::ticksToUs(base.p99), 1)});
                     continue;
                 }
-                const auto m = measure(policy, gbps, antagonist);
                 table.addRow(
                     {stats::TablePrinter::num(gbps, 0) + "G",
                      antagonist ? "co-run" : "solo",

@@ -30,20 +30,35 @@ fig14Config(idio::Policy policy, double mlcThr)
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::parseBenchOptions(argc, argv);
+
     std::printf("=== Figure 14: IDIO sensitivity to mlcTHR "
                 "(100 Gbps bursts) ===\n");
     bench::printConfigEcho(fig14Config(idio::Policy::Idio, 50.0));
 
-    const auto base =
-        bench::runSingleBurst(fig14Config(idio::Policy::Ddio, 50.0));
+    // Case 0 is the DDIO baseline; the rest sweep the threshold.
+    std::vector<bench::SweepCase> cases;
+    cases.push_back({"ddio", fig14Config(idio::Policy::Ddio, 50.0)});
+    const auto thresholds = {10.0, 25.0, 50.0, 75.0, 100.0};
+    for (double thr : thresholds) {
+        cases.push_back({"idio thr=" + stats::TablePrinter::num(thr, 0),
+                         fig14Config(idio::Policy::Idio, thr)});
+    }
+
+    const auto results = bench::runSweepSingleBurst(cases, opts.jobs);
+    bench::JsonReport report(opts.jsonPath, "fig14", opts.jobs);
+    for (std::size_t i = 0; i < cases.size(); ++i)
+        report.row(cases[i], results[i]);
+
+    const auto &base = results[0];
 
     stats::TablePrinter table({"mlcTHR (MTPS)", "mlcWB", "llcWB",
                                "dramRd", "dramWr", "exeTime"});
-    for (double thr : {10.0, 25.0, 50.0, 75.0, 100.0}) {
-        const auto m = bench::runSingleBurst(
-            fig14Config(idio::Policy::Idio, thr));
+    std::size_t i = 1;
+    for (double thr : thresholds) {
+        const auto &m = results[i++];
         table.addRow({stats::TablePrinter::num(thr, 0),
                       bench::ratio(m.totals.mlcWritebacks,
                                    base.totals.mlcWritebacks),

@@ -8,10 +8,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <vector>
+
 #include "cache/hierarchy.hh"
+#include "cache/replacement.hh"
+#include "cache/tag_array.hh"
 #include "net/flow.hh"
 #include "nic/classifier.hh"
 #include "nic/tlp.hh"
+#include "sim/delegate.hh"
 #include "sim/event_queue.hh"
 #include "sim/simulation.hh"
 
@@ -30,6 +36,87 @@ BM_EventQueueScheduleFire(benchmark::State &state)
     benchmark::DoNotOptimize(sink);
 }
 BENCHMARK(BM_EventQueueScheduleFire);
+
+void
+BM_EventQueueSquashCompact(benchmark::State &state)
+{
+    // Deschedule churn: every scheduled event is squashed again,
+    // exercising the lazy heap compaction path end to end.
+    class NopEvent : public sim::Event
+    {
+      public:
+        void process() override {}
+    };
+
+    constexpr int batch = 64;
+    std::vector<NopEvent> evs(batch);
+    sim::EventQueue q;
+    for (auto _ : state) {
+        for (int i = 0; i < batch; ++i)
+            q.schedule(&evs[i], q.now() + 10 + i);
+        for (int i = 0; i < batch; ++i)
+            q.deschedule(&evs[i]);
+    }
+    benchmark::DoNotOptimize(q.pending());
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueSquashCompact);
+
+void
+BM_TagSetIndexPow2(benchmark::State &state)
+{
+    // 1024 sets: the bitmask fast path (every Table I geometry).
+    auto arr = cache::TagArray::withSets(
+        1024, 8, cache::makeReplacementPolicy("lru"));
+    sim::Addr a = 0;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        sink += arr.setIndex(a);
+        a += 64;
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_TagSetIndexPow2);
+
+void
+BM_TagSetIndexGeneric(benchmark::State &state)
+{
+    // 1000 sets: the generic modulo path (coverage-scaled directory).
+    auto arr = cache::TagArray::withSets(
+        1000, 8, cache::makeReplacementPolicy("lru"));
+    sim::Addr a = 0;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        sink += arr.setIndex(a);
+        a += 64;
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_TagSetIndexGeneric);
+
+void
+BM_ObserverDelegate(benchmark::State &state)
+{
+    std::uint64_t count = 0;
+    auto fn = [&count](sim::CoreId) { ++count; };
+    auto obs = sim::Delegate<void(sim::CoreId)>::fromCallable(&fn);
+    for (auto _ : state)
+        obs(0);
+    benchmark::DoNotOptimize(count);
+}
+BENCHMARK(BM_ObserverDelegate);
+
+void
+BM_ObserverStdFunction(benchmark::State &state)
+{
+    std::uint64_t count = 0;
+    std::function<void(sim::CoreId)> obs =
+        [&count](sim::CoreId) { ++count; };
+    for (auto _ : state)
+        obs(0);
+    benchmark::DoNotOptimize(count);
+}
+BENCHMARK(BM_ObserverStdFunction);
 
 void
 BM_HierarchyCoreReadHit(benchmark::State &state)

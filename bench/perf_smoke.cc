@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Simulator-performance smoke benchmark.
+ *
+ * Measures host-side performance of the simulation substrate (not any
+ * simulated metric) and writes a machine-readable trajectory point:
+ *
+ *  - event-queue one-shot schedule/fire throughput,
+ *  - deschedule/compaction churn throughput,
+ *  - cache-hierarchy streaming-miss and PCIe-write throughput,
+ *  - a fig10-style config sweep run serially and on a thread pool,
+ *    with a bit-identical-results determinism check.
+ *
+ * The JSON output (default BENCH_perf.json) is committed periodically
+ * as the repo's performance trajectory and is compared by
+ * tools/bench_compare.py in CI. Wall-clock numbers are only comparable
+ * across runs on similar hosts; `hw_threads` records how parallel the
+ * sweep could actually go (the speedup criterion needs a multi-core
+ * host).
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "common.hh"
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** One micro measurement: fixed op count, wall-clocked. */
+struct MicroResult
+{
+    const char *name;
+    std::uint64_t ops;
+    double wallSec;
+
+    double nsPerOp() const { return wallSec / double(ops) * 1e9; }
+    double opsPerSec() const { return double(ops) / wallSec; }
+};
+
+MicroResult
+microEventQueueOneShot(std::uint64_t ops)
+{
+    sim::EventQueue q;
+    std::uint64_t sink = 0;
+    const auto start = Clock::now();
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        q.schedule(q.now() + 10, [&sink] { ++sink; });
+        q.runUntil(q.now() + 10);
+    }
+    MicroResult r{"eventQueueOneShot", ops, secondsSince(start)};
+    if (sink != ops)
+        sim::fatal("one-shot micro fired %llu of %llu events",
+                   (unsigned long long)sink, (unsigned long long)ops);
+    return r;
+}
+
+MicroResult
+microEventQueueSquashCompact(std::uint64_t ops)
+{
+    class NopEvent : public sim::Event
+    {
+      public:
+        void process() override {}
+    };
+
+    constexpr std::uint64_t batch = 64;
+    std::vector<NopEvent> evs(batch);
+    sim::EventQueue q;
+    const std::uint64_t rounds = ops / batch;
+    const auto start = Clock::now();
+    for (std::uint64_t n = 0; n < rounds; ++n) {
+        for (std::uint64_t i = 0; i < batch; ++i)
+            q.schedule(&evs[i], q.now() + 10 + sim::Tick(i));
+        for (std::uint64_t i = 0; i < batch; ++i)
+            q.deschedule(&evs[i]);
+    }
+    MicroResult r{"eventQueueSquashCompact", rounds * batch,
+                  secondsSince(start)};
+    if (q.pending() != 0)
+        sim::fatal("squash micro left %zu events pending", q.pending());
+    return r;
+}
+
+MicroResult
+microCacheStreamingMiss(std::uint64_t ops)
+{
+    sim::Simulation s;
+    cache::HierarchyConfig cfg;
+    cfg.numCores = 2;
+    cache::MemoryHierarchy hier(s, "sys", cfg);
+    sim::Addr a = 0;
+    std::uint64_t sink = 0;
+    const auto start = Clock::now();
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        sink += hier.coreRead(0, a).latency;
+        a += 64;
+    }
+    MicroResult r{"cacheStreamingMiss", ops, secondsSince(start)};
+    if (sink == 0)
+        sim::fatal("streaming micro accumulated zero latency");
+    return r;
+}
+
+MicroResult
+microCachePcieWrite(std::uint64_t ops)
+{
+    sim::Simulation s;
+    cache::HierarchyConfig cfg;
+    cfg.numCores = 2;
+    cache::MemoryHierarchy hier(s, "sys", cfg);
+    sim::Addr a = 0;
+    const auto start = Clock::now();
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        hier.pcieWrite(a);
+        a = (a + 64) & 0xFFFFF;
+    }
+    return MicroResult{"cachePcieWrite", ops, secondsSince(start)};
+}
+
+/** The fig10-style sweep the parallel runner is judged on. */
+std::vector<bench::SweepCase>
+sweepCases()
+{
+    std::vector<bench::SweepCase> cases;
+    for (double gbps : {100.0, 25.0, 10.0}) {
+        for (auto policy : {idio::Policy::Ddio, idio::Policy::Static,
+                            idio::Policy::Idio}) {
+            harness::ExperimentConfig cfg;
+            cfg.numNfs = 2;
+            cfg.nfKind = harness::NfKind::TouchDrop;
+            cfg.rateGbps = gbps;
+            cfg.applyPolicy(policy);
+            cases.push_back({std::string(idio::policyName(policy)) +
+                                 " " + stats::TablePrinter::num(gbps, 0)
+                                 + "G",
+                             cfg});
+        }
+    }
+    return cases;
+}
+
+bool
+sameResults(const std::vector<bench::RunMetrics> &a,
+            const std::vector<bench::RunMetrics> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!(a[i].totals == b[i].totals) || a[i].p50 != b[i].p50 ||
+            a[i].p99 != b[i].p99 ||
+            a[i].firstArrival != b[i].firstArrival ||
+            a[i].drainedAt != b[i].drainedAt) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::parseBenchOptions(argc, argv);
+    if (opts.jsonPath.empty())
+        opts.jsonPath = "BENCH_perf.json";
+    // The smoke always contrasts a serial sweep with a parallel one;
+    // default to the 8 jobs the acceptance bar uses.
+    const unsigned sweepJobs = opts.jobs > 1 ? opts.jobs : 8;
+    const unsigned hwThreads = harness::SweepRunner::hardwareJobs();
+
+    std::printf("=== perf_smoke: simulator host-side performance ===\n");
+    std::printf("host threads: %u, sweep jobs: %u\n\n", hwThreads,
+                sweepJobs);
+
+    const MicroResult micros[] = {
+        microEventQueueOneShot(2'000'000),
+        microEventQueueSquashCompact(2'000'000),
+        microCacheStreamingMiss(2'000'000),
+        microCachePcieWrite(2'000'000),
+    };
+    for (const auto &m : micros) {
+        std::printf("%-26s %8.1f ns/op  %12.0f ops/s\n", m.name,
+                    m.nsPerOp(), m.opsPerSec());
+    }
+
+    const auto cases = sweepCases();
+    std::printf("\nsweep: %zu fig10-style configs\n", cases.size());
+
+    const auto serialStart = Clock::now();
+    const auto serial = bench::runSweepSingleBurst(cases, 1);
+    const double serialSec = secondsSince(serialStart);
+
+    const auto parallelStart = Clock::now();
+    const auto parallel = bench::runSweepSingleBurst(cases, sweepJobs);
+    const double parallelSec = secondsSince(parallelStart);
+
+    const bool deterministic = sameResults(serial, parallel);
+    const double speedup = parallelSec > 0 ? serialSec / parallelSec : 0;
+
+    std::printf("jobs=1:  %.3f s\njobs=%u: %.3f s  (speedup %.2fx)\n",
+                serialSec, sweepJobs, parallelSec, speedup);
+    std::printf("deterministic: %s\n",
+                deterministic ? "yes (bit-identical totals)" : "NO");
+
+    {
+        std::ofstream ofs(opts.jsonPath);
+        if (!ofs)
+            sim::fatal("cannot open '%s'", opts.jsonPath.c_str());
+        stats::JsonWriter w(ofs);
+        w.beginObject();
+        w.field("bench", "perf_smoke");
+        w.field("hw_threads", hwThreads);
+        w.beginObject("micros");
+        for (const auto &m : micros) {
+            w.beginObject(m.name);
+            w.field("ops", m.ops);
+            w.field("wallSec", m.wallSec);
+            w.field("nsPerOp", m.nsPerOp());
+            w.field("opsPerSec", m.opsPerSec());
+            w.end();
+        }
+        w.end();
+        w.beginObject("sweep");
+        w.field("configs", std::uint64_t(cases.size()));
+        w.field("jobs", sweepJobs);
+        w.field("serialWallSec", serialSec);
+        w.field("parallelWallSec", parallelSec);
+        w.field("speedup", speedup);
+        w.field("deterministic", deterministic);
+        w.end();
+        w.end();
+        ofs << "\n";
+    }
+    std::printf("\nwrote %s\n", opts.jsonPath.c_str());
+
+    // Determinism is a hard failure; the parallel speedup is judged
+    // only where the host can actually run threads in parallel.
+    return deterministic ? 0 : 1;
+}

@@ -26,7 +26,6 @@
 #ifndef IDIO_CACHE_HIERARCHY_HH
 #define IDIO_CACHE_HIERARCHY_HH
 
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -36,6 +35,7 @@
 #include "cache/private_cache.hh"
 #include "mem/access.hh"
 #include "mem/dram.hh"
+#include "sim/delegate.hh"
 #include "sim/sim_object.hh"
 
 namespace cache
@@ -49,16 +49,23 @@ class MemoryHierarchy : public sim::SimObject
     stats::StatGroup statGroup;
 
   public:
-    /** Invoked whenever an MLC eviction allocates into the LLC. */
-    using MlcWbObserver = std::function<void(sim::CoreId)>;
+    /**
+     * Invoked whenever an MLC eviction allocates into the LLC. A
+     * sim::Delegate, not a std::function: the hook fires once per
+     * writeback on the access hot path, so dispatch must stay a plain
+     * indirect call with no ownership machinery.
+     */
+    using MlcWbObserver = sim::Delegate<void(sim::CoreId)>;
 
     /**
      * Invoked whenever a prefetched MLC line retires: its first
      * demand hit, or its departure from the MLC (eviction,
      * invalidation, migration). Lets a CPU-paced prefetcher track
-     * outstanding prefetched lines.
+     * outstanding prefetched lines. Delegate for the same reason as
+     * MlcWbObserver; the bound object must outlive the hierarchy's
+     * use of the hook.
      */
-    using PrefetchRetireObserver = std::function<void(sim::CoreId)>;
+    using PrefetchRetireObserver = sim::Delegate<void(sim::CoreId)>;
 
     MemoryHierarchy(sim::Simulation &simulation, const std::string &name,
                     const HierarchyConfig &config);

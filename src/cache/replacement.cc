@@ -18,42 +18,6 @@ LruPolicy::init(std::uint32_t numSets, std::uint32_t a)
 }
 
 void
-LruPolicy::touch(std::uint32_t set, std::uint32_t way)
-{
-    stamps[std::size_t(set) * assoc + way] = ++clock;
-}
-
-std::uint32_t
-LruPolicy::victim(std::uint32_t set, WayMask candidates)
-{
-    SIM_ASSERT(candidates != 0, "empty candidate mask");
-    std::uint32_t best = 0;
-    std::uint64_t bestStamp = ~std::uint64_t(0);
-    for (std::uint32_t w = 0; w < assoc; ++w) {
-        if (!(candidates & (WayMask(1) << w)))
-            continue;
-        const std::uint64_t s = stamps[std::size_t(set) * assoc + w];
-        if (s <= bestStamp) {
-            // <= so the highest eligible way wins ties among untouched
-            // ways; any deterministic rule works.
-            if (s < bestStamp) {
-                bestStamp = s;
-                best = w;
-            }
-        }
-    }
-    if (bestStamp == ~std::uint64_t(0)) {
-        // All candidates untouched with max stamp cannot happen since
-        // stamps start at 0; keep a safe fallback anyway.
-        for (std::uint32_t w = 0; w < assoc; ++w) {
-            if (candidates & (WayMask(1) << w))
-                return w;
-        }
-    }
-    return best;
-}
-
-void
 RandomPolicy::init(std::uint32_t, std::uint32_t a)
 {
     assoc = a;

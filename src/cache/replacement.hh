@@ -11,11 +11,13 @@
 #ifndef IDIO_CACHE_REPLACEMENT_HH
 #define IDIO_CACHE_REPLACEMENT_HH
 
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/logging.hh"
 #include "sim/rng.hh"
 
 namespace cache
@@ -32,12 +34,29 @@ lowWays(std::uint32_t n)
 }
 
 /**
+ * Concrete policy identity, so hot paths can devirtualize dispatch to
+ * the common policy (see TagArray): callers compare kind() once at
+ * construction and cache a concrete pointer instead of paying an
+ * indirect call per touch/victim.
+ */
+enum class ReplKind
+{
+    Lru,
+    Random,
+    Srrip,
+    Other,
+};
+
+/**
  * Abstract replacement policy.
  */
 class ReplacementPolicy
 {
   public:
     virtual ~ReplacementPolicy() = default;
+
+    /** Concrete kind, for devirtualized hot-path dispatch. */
+    virtual ReplKind kind() const { return ReplKind::Other; }
 
     /**
      * Size the internal state.
@@ -73,10 +92,48 @@ class ReplacementPolicy
 class LruPolicy : public ReplacementPolicy
 {
   public:
+    ReplKind kind() const override { return ReplKind::Lru; }
     void init(std::uint32_t numSets, std::uint32_t assoc) override;
-    void touch(std::uint32_t set, std::uint32_t way) override;
-    std::uint32_t victim(std::uint32_t set, WayMask candidates) override;
+    void touch(std::uint32_t set, std::uint32_t way) override
+    {
+        touchFast(set, way);
+    }
+    std::uint32_t victim(std::uint32_t set, WayMask candidates) override
+    {
+        return victimFast(set, candidates);
+    }
     std::string name() const override { return "lru"; }
+
+    /** @{ Non-virtual fast paths used by TagArray's devirtualized
+     * dispatch (semantics identical to the virtual entry points). */
+    void
+    touchFast(std::uint32_t set, std::uint32_t way)
+    {
+        stamps[std::size_t(set) * assoc + way] = ++clock;
+    }
+
+    std::uint32_t
+    victimFast(std::uint32_t set, WayMask candidates) const
+    {
+        SIM_ASSERT(candidates != 0, "empty candidate mask");
+        const std::uint64_t *s = &stamps[std::size_t(set) * assoc];
+        // Iterate candidate bits only; strict < keeps the lowest
+        // eligible way among equal stamps (any deterministic rule
+        // works, but this matches the historical scan order).
+        std::uint32_t best =
+            static_cast<std::uint32_t>(std::countr_zero(candidates));
+        std::uint64_t bestStamp = ~std::uint64_t(0);
+        for (WayMask m = candidates; m != 0; m &= m - 1) {
+            const auto w =
+                static_cast<std::uint32_t>(std::countr_zero(m));
+            if (s[w] < bestStamp) {
+                bestStamp = s[w];
+                best = w;
+            }
+        }
+        return best;
+    }
+    /** @} */
 
   private:
     std::uint32_t assoc = 0;
@@ -92,6 +149,7 @@ class RandomPolicy : public ReplacementPolicy
   public:
     explicit RandomPolicy(std::uint64_t seed = 7) : rng(seed) {}
 
+    ReplKind kind() const override { return ReplKind::Random; }
     void init(std::uint32_t numSets, std::uint32_t assoc) override;
     void touch(std::uint32_t, std::uint32_t) override {}
     std::uint32_t victim(std::uint32_t set, WayMask candidates) override;
@@ -114,6 +172,7 @@ class SrripPolicy : public ReplacementPolicy
     {
     }
 
+    ReplKind kind() const override { return ReplKind::Srrip; }
     void init(std::uint32_t numSets, std::uint32_t assoc) override;
     void touch(std::uint32_t set, std::uint32_t way) override;
     void fill(std::uint32_t set, std::uint32_t way) override;

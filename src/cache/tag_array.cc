@@ -5,6 +5,8 @@
 
 #include "tag_array.hh"
 
+#include <algorithm>
+
 namespace cache
 {
 
@@ -36,10 +38,16 @@ TagArray::TagArray(std::uint64_t sizeBytes, std::uint32_t assoc,
 
 TagArray::TagArray(std::uint32_t numSets, std::uint32_t assoc,
                    std::unique_ptr<ReplacementPolicy> pol, int)
-    : nSets(numSets), nWays(assoc), policy(std::move(pol)),
-      lines(std::size_t(numSets) * assoc)
+    : nSets(numSets), nWays(assoc),
+      setsPow2(numSets != 0 && (numSets & (numSets - 1)) == 0),
+      setMask(numSets - 1), policy(std::move(pol)),
+      lines(std::size_t(numSets) * assoc),
+      tags(std::size_t(numSets) * assoc, invalidTag),
+      freeWays(numSets, lowWays(assoc))
 {
     policy->init(nSets, nWays);
+    if (policy->kind() == ReplKind::Lru)
+        lruFast = static_cast<LruPolicy *>(policy.get());
 }
 
 TagArray
@@ -47,51 +55,6 @@ TagArray::withSets(std::uint32_t numSets, std::uint32_t assoc,
                    std::unique_ptr<ReplacementPolicy> policy)
 {
     return TagArray(numSets, assoc, std::move(policy), 0);
-}
-
-LineRef
-TagArray::lookup(sim::Addr addr)
-{
-    addr = mem::lineAlign(addr);
-    const std::uint32_t set = setIndex(addr);
-    for (std::uint32_t w = 0; w < nWays; ++w) {
-        CacheLine &l = lineAt(set, w);
-        if (l.valid && l.addr == addr)
-            return LineRef{set, w, &l};
-    }
-    return LineRef{set, 0, nullptr};
-}
-
-const CacheLine *
-TagArray::peek(sim::Addr addr) const
-{
-    addr = mem::lineAlign(addr);
-    const std::uint32_t set = setIndex(addr);
-    for (std::uint32_t w = 0; w < nWays; ++w) {
-        const CacheLine &l = lineAt(set, w);
-        if (l.valid && l.addr == addr)
-            return &l;
-    }
-    return nullptr;
-}
-
-LineRef
-TagArray::findFillSlot(sim::Addr addr, WayMask candidates)
-{
-    addr = mem::lineAlign(addr);
-    const std::uint32_t set = setIndex(addr);
-    candidates &= lowWays(nWays);
-    SIM_ASSERT(candidates != 0, "no candidate ways for fill");
-
-    for (std::uint32_t w = 0; w < nWays; ++w) {
-        if (!(candidates & (WayMask(1) << w)))
-            continue;
-        CacheLine &l = lineAt(set, w);
-        if (!l.valid)
-            return LineRef{set, w, &l};
-    }
-    const std::uint32_t victim = policy->victim(set, candidates);
-    return LineRef{set, victim, &lineAt(set, victim)};
 }
 
 CacheLine &
@@ -105,7 +68,13 @@ TagArray::fill(const LineRef &slot, sim::Addr addr, bool dirty, bool io)
     l.prefetched = false;
     l.ddioAlloc = false;
     l.sharers = 0;
-    policy->fill(slot.set, slot.way);
+    tags[std::size_t(slot.set) * nWays + slot.way] = l.addr;
+    freeWays[slot.set] &= ~(WayMask(1) << slot.way);
+    // LruPolicy::fill == touch; skip the two virtual hops.
+    if (lruFast)
+        lruFast->touchFast(slot.set, slot.way);
+    else
+        policy->fill(slot.set, slot.way);
     return l;
 }
 
@@ -119,6 +88,8 @@ TagArray::invalidate(const LineRef &slot)
     l.prefetched = false;
     l.ddioAlloc = false;
     l.sharers = 0;
+    tags[std::size_t(slot.set) * nWays + slot.way] = invalidTag;
+    freeWays[slot.set] |= WayMask(1) << slot.way;
 }
 
 std::uint64_t
@@ -142,6 +113,8 @@ TagArray::clear()
 {
     for (auto &l : lines)
         l = CacheLine{};
+    std::fill(tags.begin(), tags.end(), invalidTag);
+    std::fill(freeWays.begin(), freeWays.end(), lowWays(nWays));
 }
 
 } // namespace cache

@@ -12,6 +12,7 @@
 #ifndef IDIO_CACHE_TAG_ARRAY_HH
 #define IDIO_CACHE_TAG_ARRAY_HH
 
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -93,34 +94,91 @@ class TagArray
         return std::uint64_t(nSets) * nWays * mem::lineSize;
     }
 
-    /** Set index for an address. */
+    /**
+     * Set index for an address. Power-of-two set counts (every Table I
+     * geometry) take a bitmask fast path; the generic modulo is kept
+     * for odd geometries such as coverage-scaled directories.
+     */
     std::uint32_t
     setIndex(sim::Addr addr) const
     {
-        return static_cast<std::uint32_t>(mem::lineNumber(addr) %
-                                          nSets);
+        const std::uint64_t line = mem::lineNumber(addr);
+        if (setsPow2)
+            return static_cast<std::uint32_t>(line & setMask);
+        return static_cast<std::uint32_t>(line % nSets);
     }
 
-    /** Find a valid line matching @p addr; LineRef is null on miss. */
-    LineRef lookup(sim::Addr addr);
+    /**
+     * Find a valid line matching @p addr; LineRef is null on miss.
+     *
+     * Scans the dense tag side-array rather than the CacheLine structs:
+     * one set's tags span two cachelines instead of six, and invalid
+     * slots hold a misaligned sentinel that can never compare equal to
+     * a line-aligned probe, so the loop is a single branchless compare
+     * per way.
+     */
+    LineRef
+    lookup(sim::Addr addr)
+    {
+        addr = mem::lineAlign(addr);
+        const std::uint32_t set = setIndex(addr);
+        const std::uint64_t *t = &tags[std::size_t(set) * nWays];
+        for (std::uint32_t w = 0; w < nWays; ++w) {
+            if (t[w] == addr)
+                return LineRef{set, w, &lineAt(set, w)};
+        }
+        return LineRef{set, 0, nullptr};
+    }
 
     /** const lookup. */
-    const CacheLine *peek(sim::Addr addr) const;
+    const CacheLine *
+    peek(sim::Addr addr) const
+    {
+        addr = mem::lineAlign(addr);
+        const std::uint32_t set = setIndex(addr);
+        const std::uint64_t *t = &tags[std::size_t(set) * nWays];
+        for (std::uint32_t w = 0; w < nWays; ++w) {
+            if (t[w] == addr)
+                return &lineAt(set, w);
+        }
+        return nullptr;
+    }
 
     /** Record a use of an existing line. */
     void
     touch(const LineRef &ref)
     {
-        policy->touch(ref.set, ref.way);
+        if (lruFast)
+            lruFast->touchFast(ref.set, ref.way);
+        else
+            policy->touch(ref.set, ref.way);
     }
 
     /**
      * Choose a slot for a new fill of @p addr among @p candidates:
-     * an invalid candidate way if one exists, else the policy victim.
+     * the lowest-index invalid candidate way if one exists (an O(1)
+     * pick from the per-set free-way bitmask), else the policy victim.
      * The returned slot may hold a valid line the caller must evict.
      */
     LineRef
-    findFillSlot(sim::Addr addr, WayMask candidates = ~WayMask(0));
+    findFillSlot(sim::Addr addr, WayMask candidates = ~WayMask(0))
+    {
+        addr = mem::lineAlign(addr);
+        const std::uint32_t set = setIndex(addr);
+        candidates &= lowWays(nWays);
+        SIM_ASSERT(candidates != 0, "no candidate ways for fill");
+
+        const WayMask free = candidates & freeWays[set];
+        if (free != 0) {
+            const auto w =
+                static_cast<std::uint32_t>(std::countr_zero(free));
+            return LineRef{set, w, &lineAt(set, w)};
+        }
+        const std::uint32_t victim =
+            lruFast ? lruFast->victimFast(set, candidates)
+                    : policy->victim(set, candidates);
+        return LineRef{set, victim, &lineAt(set, victim)};
+    }
 
     /**
      * Install @p addr into @p slot (which the caller already emptied or
@@ -163,8 +221,27 @@ class TagArray
 
     std::uint32_t nSets;
     std::uint32_t nWays;
+    bool setsPow2;          ///< nSets is a power of two
+    std::uint32_t setMask;  ///< nSets - 1, valid when setsPow2
     std::unique_ptr<ReplacementPolicy> policy;
+
+    /**
+     * Non-null when the policy is the default LRU: touch/victim/fill
+     * on the lookup hot path then go through LruPolicy's non-virtual
+     * fast entry points instead of an indirect call per access.
+     */
+    LruPolicy *lruFast = nullptr;
+
     std::vector<CacheLine> lines;
+
+    /**
+     * Tag of slot i is invalidTag when invalid, else lines[i].addr: a
+     * sentinel in the always-zero low line-offset bits keeps lookup a
+     * pure compare. fill/invalidate/clear maintain the invariant.
+     */
+    static constexpr std::uint64_t invalidTag = 1;
+    std::vector<std::uint64_t> tags;     ///< numSets * assoc
+    std::vector<WayMask> freeWays;       ///< per set: bit w = way invalid
 };
 
 } // namespace cache

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * SweepRunner implementation.
+ */
+
+#include "sweep.hh"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace harness
+{
+
+unsigned
+SweepRunner::hardwareJobs()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+void
+SweepRunner::runTasks(std::size_t count,
+                      const std::function<void(std::size_t)> &task) const
+{
+    if (count == 0)
+        return;
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(nJobs, count));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            task(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex errMutex;
+    std::exception_ptr firstError;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                task(i);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(errMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+} // namespace harness

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Parallel experiment sweep runner.
+ *
+ * Every figure bench evaluates a list of independent ExperimentConfigs
+ * (policies x rates x sensitivity knobs). Each simulation is strictly
+ * single-threaded and deterministic — a Simulation owns its event
+ * queue, stats registry and RNGs, and src/ has no mutable global
+ * state — so whole configs can run concurrently without perturbing
+ * results. SweepRunner executes such a list on a small thread pool
+ * and collects results in config order: the output of `map` is
+ * bit-identical whatever the job count.
+ */
+
+#ifndef IDIO_HARNESS_SWEEP_HH
+#define IDIO_HARNESS_SWEEP_HH
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+namespace harness
+{
+
+/**
+ * Runs a list of independent simulation tasks on up to `jobs` threads.
+ */
+class SweepRunner
+{
+  public:
+    /** @param jobs Worker threads; <=1 means run serially in-place. */
+    explicit SweepRunner(unsigned jobs = 1) : nJobs(jobs ? jobs : 1) {}
+
+    /** Host hardware thread count (>=1); the `--jobs=0` default. */
+    static unsigned hardwareJobs();
+
+    unsigned jobs() const { return nJobs; }
+
+    /**
+     * Evaluate `fn(items[i])` for every item and return the results in
+     * item order. The result type must be default-constructible.
+     * Exceptions from tasks are captured; the first one (by completion
+     * order) is rethrown after all workers join.
+     */
+    template <typename T, typename Fn>
+    auto
+    map(const std::vector<T> &items, Fn &&fn)
+        -> std::vector<std::invoke_result_t<Fn &, const T &>>
+    {
+        using R = std::invoke_result_t<Fn &, const T &>;
+        std::vector<R> results(items.size());
+        runTasks(items.size(),
+                 [&](std::size_t i) { results[i] = fn(items[i]); });
+        return results;
+    }
+
+  private:
+    /** Run task(0..count-1), work-stealing via an atomic index. */
+    void runTasks(std::size_t count,
+                  const std::function<void(std::size_t)> &task) const;
+
+    unsigned nJobs;
+};
+
+} // namespace harness
+
+#endif // IDIO_HARNESS_SWEEP_HH

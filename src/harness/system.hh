@@ -48,6 +48,9 @@ struct Totals
     std::uint64_t processedPackets = 0;
 
     Totals operator-(const Totals &o) const;
+
+    /** Field-wise equality; the sweep determinism tests rely on it. */
+    bool operator==(const Totals &o) const = default;
 };
 
 /**

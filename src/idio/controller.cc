@@ -54,11 +54,12 @@ void
 IdioController::start()
 {
     hier.setMlcWbObserver(
-        [this](sim::CoreId core) { ++wbThisInterval[core]; });
+        cache::MemoryHierarchy::MlcWbObserver::fromMember<
+            &IdioController::onMlcWriteback>(this));
     if (cfg.prefetcher == PrefetcherKind::CpuPaced) {
-        hier.setPrefetchRetireObserver([this](sim::CoreId core) {
-            prefetchers[core]->onRetire();
-        });
+        hier.setPrefetchRetireObserver(
+            cache::MemoryHierarchy::PrefetchRetireObserver::fromMember<
+                &IdioController::onPrefetchRetire>(this));
     }
     controlEvent.start();
 }

@@ -90,6 +90,15 @@ class IdioController : public sim::SimObject, public nic::DmaTarget
   private:
     void controlPlaneTick();
 
+    /** @{ MemoryHierarchy observer targets (Delegate-bound). */
+    void onMlcWriteback(sim::CoreId core) { ++wbThisInterval[core]; }
+    void
+    onPrefetchRetire(sim::CoreId core)
+    {
+        prefetchers[core]->onRetire();
+    }
+    /** @} */
+
     cache::MemoryHierarchy &hier;
     IdioConfig cfg;
     std::uint32_t thrPerInterval;

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Lightweight non-owning callback delegate.
+ *
+ * sim::Delegate is the hot-path alternative to std::function for the
+ * simulator's per-transaction observer hooks: two raw pointers (bound
+ * object + trampoline), no heap allocation, no virtual dispatch, and a
+ * call that the compiler can often inline through. The delegate does
+ * NOT own or copy the bound object — the binder guarantees the object
+ * outlives every invocation, which holds for all simulator uses (the
+ * observers are SimObjects living as long as the Simulation).
+ */
+
+#ifndef IDIO_SIM_DELEGATE_HH
+#define IDIO_SIM_DELEGATE_HH
+
+#include <utility>
+
+namespace sim
+{
+
+template <typename Signature>
+class Delegate;
+
+/**
+ * Delegate specialisation for a function signature R(Args...).
+ *
+ * Bind a member function:
+ *   auto d = Delegate<void(int)>::fromMember<&Widget::poke>(&widget);
+ * or any long-lived callable (e.g.\ a named lambda in a test):
+ *   auto fn = [&](int v) { sum += v; };
+ *   auto d = Delegate<void(int)>::fromCallable(&fn);
+ *
+ * A default-constructed delegate is empty; test with operator bool
+ * before invoking.
+ */
+template <typename R, typename... Args>
+class Delegate<R(Args...)>
+{
+  public:
+    Delegate() = default;
+
+    /** Bind @p obj->*Method (Method is a member-pointer constant). */
+    template <auto Method, typename T>
+    static Delegate
+    fromMember(T *obj)
+    {
+        Delegate d;
+        d.obj = obj;
+        d.fn = [](void *o, Args... args) -> R {
+            return (static_cast<T *>(o)->*Method)(
+                std::forward<Args>(args)...);
+        };
+        return d;
+    }
+
+    /** Bind a callable object the caller keeps alive. */
+    template <typename T>
+    static Delegate
+    fromCallable(T *callable)
+    {
+        Delegate d;
+        d.obj = callable;
+        d.fn = [](void *o, Args... args) -> R {
+            return (*static_cast<T *>(o))(
+                std::forward<Args>(args)...);
+        };
+        return d;
+    }
+
+    /** True when a target is bound. */
+    explicit operator bool() const { return fn != nullptr; }
+
+    /** Invoke the bound target (undefined when empty). */
+    R
+    operator()(Args... args) const
+    {
+        return fn(obj, std::forward<Args>(args)...);
+    }
+
+    /** Unbind. */
+    void
+    reset()
+    {
+        obj = nullptr;
+        fn = nullptr;
+    }
+
+  private:
+    void *obj = nullptr;
+    R (*fn)(void *, Args...) = nullptr;
+};
+
+} // namespace sim
+
+#endif // IDIO_SIM_DELEGATE_HH

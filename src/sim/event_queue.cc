@@ -5,8 +5,6 @@
 
 #include "event_queue.hh"
 
-#include <memory>
-
 namespace sim
 {
 
@@ -22,16 +20,13 @@ Event::~Event()
 
 EventQueue::~EventQueue()
 {
-    // Drop remaining entries, freeing owned lambda events. Squashed
-    // entries are null (deschedule() wipes them so a destroyed Event
-    // never leaves a dangling pointer here); live non-owned entries
-    // must be unmarked so their owners can destroy them afterwards.
+    // Unmark remaining live entries so their owners can destroy them
+    // afterwards. Pooled one-shot nodes are owned by oneShotPool and
+    // destroyed with it (their destructor disarms any stored callable);
+    // squashed entries are null already.
     for (Entry &e : heap) {
-        if (!e.ev)
-            continue;
-        e.ev->_scheduled = false;
-        if (e.owned)
-            delete e.ev;
+        if (e.ev)
+            e.ev->_scheduled = false;
     }
     heap.clear();
 }
@@ -50,6 +45,27 @@ EventQueue::popTop()
     Entry e = heap.back();
     heap.pop_back();
     return e;
+}
+
+OneShotEvent *
+EventQueue::acquireOneShot()
+{
+    if (freeOneShots) {
+        OneShotEvent *ev = freeOneShots;
+        freeOneShots = ev->nextFree;
+        ev->nextFree = nullptr;
+        return ev;
+    }
+    oneShotPool.push_back(std::make_unique<OneShotEvent>());
+    return oneShotPool.back().get();
+}
+
+void
+EventQueue::releaseOneShot(OneShotEvent *ev)
+{
+    ev->disarm();
+    ev->nextFree = freeOneShots;
+    freeOneShots = ev;
 }
 
 void
@@ -86,19 +102,27 @@ EventQueue::deschedule(Event *ev)
     }
     ev->_scheduled = false;
     ++squashedCount;
+
+    // Lazy compaction: once squashed entries outnumber live ones the
+    // heap is mostly dead weight — rebuild it from the survivors so
+    // heap.size() stays within 2x of pending() no matter how much a
+    // workload deschedules.
+    if (squashedCount * 2 > heap.size())
+        compact();
 }
 
 void
-EventQueue::schedule(Tick when, std::function<void()> fn)
+EventQueue::compact()
 {
-    if (when < curTick)
-        panic("lambda event scheduled in the past (%llu < %llu)",
-              (unsigned long long)when, (unsigned long long)curTick);
-    auto ev = std::make_unique<LambdaEvent>(std::move(fn));
-    ev->_scheduled = true;
-    ev->_when = when;
-    ev->_seq = nextSeq;
-    push(Entry{when, nextSeq++, ev.release(), true});
+    const std::size_t livePending = heap.size() - squashedCount;
+    heap.erase(std::remove_if(
+                   heap.begin(), heap.end(),
+                   [](const Entry &e) { return squashed(e); }),
+               heap.end());
+    std::make_heap(heap.begin(), heap.end(), EntryAfter{});
+    squashedCount = 0;
+    SIM_ASSERT(pending() == livePending,
+               "squashed-entry compaction changed pending()");
 }
 
 Tick
@@ -116,17 +140,11 @@ std::uint64_t
 EventQueue::runUntil(Tick limit)
 {
     std::uint64_t processed = 0;
-    while (!heap.empty()) {
-        const Entry &top = heap.front();
-
-        // Skip squashed (descheduled or rescheduled) entries.
-        if (squashed(top)) {
-            popTop();
-            --squashedCount;
-            continue;
-        }
-
-        if (top.when > limit)
+    while (true) {
+        // peekNextTick() prunes squashed tops, so afterwards the heap
+        // front (if any) is the next live event.
+        const Tick next = peekNextTick();
+        if (heap.empty() || next > limit)
             break;
 
         Entry e = popTop();
@@ -134,7 +152,7 @@ EventQueue::runUntil(Tick limit)
         e.ev->_scheduled = false;
         e.ev->process();
         if (e.owned)
-            delete e.ev;
+            releaseOneShot(static_cast<OneShotEvent *>(e.ev));
         ++processed;
         ++nProcessed;
 

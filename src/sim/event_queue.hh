@@ -5,8 +5,15 @@
  * The EventQueue keeps a priority queue of (tick, sequence, callback)
  * entries. Events scheduled for the same tick fire in insertion order,
  * which makes simulations fully deterministic. Components either
- * schedule one-shot std::function callbacks or derive from Event for
- * reschedulable events (e.g.\ periodic control-plane sampling).
+ * schedule one-shot callbacks or derive from Event for reschedulable
+ * events (e.g.\ periodic control-plane sampling).
+ *
+ * One-shot callbacks are stored in pooled OneShotEvent nodes with
+ * inline callable storage: scheduling one performs no heap allocation
+ * once the pool is warm (callables larger than the inline buffer spill
+ * to the heap, which no simulator callback does today). Descheduled
+ * ("squashed") heap entries are compacted lazily so deschedule churn
+ * cannot bloat the heap.
  *
  * The queue also carries the hook the runtime invariant checker hangs
  * off: a callback invoked every N processed events, between events, so
@@ -17,9 +24,14 @@
 #define IDIO_SIM_EVENT_QUEUE_HH
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <new>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "logging.hh"
@@ -60,19 +72,63 @@ class Event
 };
 
 /**
- * Wraps a std::function as a one-shot heap event; used by
- * EventQueue::schedule(Tick, callback).
+ * Pooled one-shot event used by EventQueue::schedule(Tick, callable).
+ *
+ * The callable is type-erased into a fixed inline buffer (no heap
+ * allocation, no std::function); a callable too large for the buffer
+ * is boxed into a unique_ptr whose 8-byte handle fits inline. Nodes
+ * are owned and recycled by the EventQueue's free list, so the steady
+ * state of a simulation performs zero allocations per one-shot.
  */
-class LambdaEvent : public Event
+class OneShotEvent : public Event
 {
   public:
-    explicit LambdaEvent(std::function<void()> fn) : fn(std::move(fn)) {}
+    OneShotEvent() = default;
+    ~OneShotEvent() override { disarm(); }
 
-    void process() override { fn(); }
-    std::string name() const override { return "lambda-event"; }
+    void process() override { invokeFn(storage); }
+    std::string name() const override { return "one-shot-event"; }
+
+    /** Store @p fn; the previous callable must be disarmed already. */
+    template <typename F>
+    void
+    arm(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= storageBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(storage)) // lint: allow(no-naked-new)
+                Fn(std::forward<F>(fn));
+            invokeFn = [](void *p) { (*static_cast<Fn *>(p))(); };
+            destroyFn = [](void *p) { static_cast<Fn *>(p)->~Fn(); };
+        } else {
+            // Oversized callable: box it; the unique_ptr fits inline.
+            arm([boxed = std::make_unique<Fn>(std::forward<F>(fn))] {
+                (*boxed)();
+            });
+        }
+    }
+
+    /** Destroy the stored callable (idempotent). */
+    void
+    disarm()
+    {
+        if (destroyFn) {
+            destroyFn(storage);
+            destroyFn = nullptr;
+            invokeFn = nullptr;
+        }
+    }
 
   private:
-    std::function<void()> fn;
+    friend class EventQueue;
+
+    static constexpr std::size_t storageBytes = 48;
+
+    alignas(std::max_align_t) unsigned char storage[storageBytes];
+    void (*invokeFn)(void *) = nullptr;
+    void (*destroyFn)(void *) = nullptr;
+    OneShotEvent *nextFree = nullptr; // intrusive pool free list
 };
 
 /**
@@ -101,14 +157,32 @@ class EventQueue
     /** Schedule @p ev at now() + @p delta. */
     void scheduleIn(Event *ev, Tick delta) { schedule(ev, now() + delta); }
 
-    /** Schedule a one-shot callback at an absolute tick. */
-    void schedule(Tick when, std::function<void()> fn);
-
-    /** Schedule a one-shot callback at now() + delta. */
+    /**
+     * Schedule a one-shot callable at an absolute tick. The callable
+     * is moved into a pooled OneShotEvent: no per-call allocation.
+     */
+    template <typename F>
     void
-    scheduleIn(Tick delta, std::function<void()> fn)
+    schedule(Tick when, F &&fn)
     {
-        schedule(now() + delta, std::move(fn));
+        if (when < curTick)
+            panic("one-shot event scheduled in the past (%llu < %llu)",
+                  (unsigned long long)when,
+                  (unsigned long long)curTick);
+        OneShotEvent *ev = acquireOneShot();
+        ev->arm(std::forward<F>(fn));
+        ev->_scheduled = true;
+        ev->_when = when;
+        ev->_seq = nextSeq;
+        push(Entry{when, nextSeq++, ev, true});
+    }
+
+    /** Schedule a one-shot callable at now() + delta. */
+    template <typename F>
+    void
+    scheduleIn(Tick delta, F &&fn)
+    {
+        schedule(now() + delta, std::forward<F>(fn));
     }
 
     /** Number of events currently pending. */
@@ -123,6 +197,19 @@ class EventQueue
      * invariant checker and tests, not for hot paths.
      */
     Tick nextEventTick() const;
+
+    /**
+     * Hot-path variant of nextEventTick(): amortized O(1). Pops
+     * squashed entries off the heap top (each pop is amortized
+     * against the deschedule that created it), then reads the live
+     * minimum in place. Does not change pending() or fire anything.
+     */
+    Tick
+    peekNextTick()
+    {
+        dropSquashedTop();
+        return heap.empty() ? maxTick : heap.front().when;
+    }
 
     /**
      * Run until the queue drains or simulated time would pass @p limit.
@@ -166,7 +253,7 @@ class EventQueue
         Tick when;
         std::uint64_t seq;
         Event *ev;
-        bool owned; // heap-allocated LambdaEvent we must delete
+        bool owned; // pooled OneShotEvent recycled by the queue
 
         bool
         operator>(const Entry &o) const
@@ -196,6 +283,26 @@ class EventQueue
     void push(Entry e);
     Entry popTop();
 
+    /** Pop squashed entries off the heap top (amortized O(1)). */
+    void
+    dropSquashedTop()
+    {
+        while (!heap.empty() && squashed(heap.front())) {
+            popTop();
+            --squashedCount;
+        }
+    }
+
+    /**
+     * Remove every squashed entry and re-heapify. Called when squashed
+     * entries outnumber live ones so deschedule churn keeps the heap
+     * within 2x of pending() instead of growing without bound.
+     */
+    void compact();
+
+    OneShotEvent *acquireOneShot();
+    void releaseOneShot(OneShotEvent *ev);
+
     // Kept as a plain vector managed with the <algorithm> heap
     // primitives (rather than std::priority_queue) so nextEventTick()
     // and the invariant checker can inspect pending entries in place.
@@ -204,6 +311,11 @@ class EventQueue
     std::uint64_t nextSeq = 0;
     std::uint64_t nProcessed = 0;
     std::size_t squashedCount = 0;
+
+    // One-shot node pool: `oneShotPool` owns every node ever created;
+    // `freeOneShots` chains the currently idle ones.
+    std::vector<std::unique_ptr<OneShotEvent>> oneShotPool;
+    OneShotEvent *freeOneShots = nullptr;
 
     std::uint64_t hookEvery = 0;
     std::uint64_t sinceHook = 0;
@@ -224,6 +336,20 @@ struct EventQueueTestAccess
     setCurTick(EventQueue &eq, Tick t)
     {
         eq.curTick = t;
+    }
+
+    /** Raw heap slots (live + squashed), for compaction tests. */
+    static std::size_t
+    heapSlots(const EventQueue &eq)
+    {
+        return eq.heap.size();
+    }
+
+    /** Nodes in the one-shot pool (idle + in flight). */
+    static std::size_t
+    oneShotPoolSize(const EventQueue &eq)
+    {
+        return eq.oneShotPool.size();
     }
 };
 

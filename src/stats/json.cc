@@ -6,6 +6,8 @@
 #include "json.hh"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 namespace stats
 {
@@ -64,6 +66,165 @@ writeNumber(std::ostream &os, double v)
 }
 
 } // anonymous namespace
+
+namespace
+{
+
+/**
+ * Unbalanced begin/end calls are programmer errors; stats is a leaf
+ * library (no sim::panic), so fail with a plain diagnostic.
+ */
+void
+jsonMisuse(const char *what)
+{
+    std::fprintf(stderr, "stats::JsonWriter misuse: %s\n", what);
+    std::abort();
+}
+
+} // anonymous namespace
+
+JsonWriter::~JsonWriter()
+{
+    if (!levels.empty())
+        jsonMisuse("destroyed with open containers");
+}
+
+void
+JsonWriter::comma()
+{
+    if (!levels.empty()) {
+        if (levels.back().needComma)
+            os << ",";
+        levels.back().needComma = true;
+    }
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    comma();
+    os << "\"" << jsonEscape(k) << "\":";
+}
+
+void
+JsonWriter::open(char opener, char closer)
+{
+    os << opener;
+    levels.push_back(Level{closer, false});
+}
+
+void
+JsonWriter::beginObject()
+{
+    comma();
+    open('{', '}');
+}
+
+void
+JsonWriter::beginObject(const std::string &k)
+{
+    key(k);
+    open('{', '}');
+}
+
+void
+JsonWriter::beginArray()
+{
+    comma();
+    open('[', ']');
+}
+
+void
+JsonWriter::beginArray(const std::string &k)
+{
+    key(k);
+    open('[', ']');
+}
+
+void
+JsonWriter::end()
+{
+    if (levels.empty())
+        jsonMisuse("end() with no open container");
+    os << levels.back().closer;
+    levels.pop_back();
+}
+
+void
+JsonWriter::field(const std::string &k, std::uint64_t v)
+{
+    key(k);
+    os << v;
+}
+
+void
+JsonWriter::field(const std::string &k, std::int64_t v)
+{
+    key(k);
+    os << v;
+}
+
+void
+JsonWriter::field(const std::string &k, int v)
+{
+    key(k);
+    os << v;
+}
+
+void
+JsonWriter::field(const std::string &k, unsigned v)
+{
+    key(k);
+    os << v;
+}
+
+void
+JsonWriter::field(const std::string &k, double v)
+{
+    key(k);
+    writeNumber(os, v);
+}
+
+void
+JsonWriter::field(const std::string &k, bool v)
+{
+    key(k);
+    os << (v ? "true" : "false");
+}
+
+void
+JsonWriter::field(const std::string &k, const std::string &v)
+{
+    key(k);
+    os << "\"" << jsonEscape(v) << "\"";
+}
+
+void
+JsonWriter::field(const std::string &k, const char *v)
+{
+    field(k, std::string(v));
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    comma();
+    os << v;
+}
+
+void
+JsonWriter::value(double v)
+{
+    comma();
+    writeNumber(os, v);
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    comma();
+    os << "\"" << jsonEscape(v) << "\"";
+}
 
 void
 writeJson(std::ostream &os, const Registry &registry)

@@ -11,8 +11,10 @@
 #ifndef IDIO_STATS_JSON_HH
 #define IDIO_STATS_JSON_HH
 
+#include <cstdint>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "stats/registry.hh"
 #include "stats/series.hh"
@@ -22,6 +24,61 @@ namespace stats
 
 /** Escape a string for embedding in a JSON document. */
 std::string jsonEscape(const std::string &s);
+
+/**
+ * Minimal streaming JSON writer for bench result files.
+ *
+ * Produces compact, valid JSON with automatic comma management; the
+ * caller is responsible for nesting begin/end calls correctly (an
+ * unbalanced document is a programming error and asserts). Used by the
+ * figure benches (`--json=FILE`) and the perf_smoke trajectory file.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &out) : os(out) {}
+    ~JsonWriter();
+
+    /** @{ Containers. Keyed forms are for use inside an object. */
+    void beginObject();
+    void beginObject(const std::string &key);
+    void beginArray();
+    void beginArray(const std::string &key);
+    void end(); ///< close the innermost object or array
+    /** @} */
+
+    /** @{ Key/value fields (inside an object). */
+    void field(const std::string &key, std::uint64_t v);
+    void field(const std::string &key, std::int64_t v);
+    void field(const std::string &key, int v);
+    void field(const std::string &key, unsigned v);
+    void field(const std::string &key, double v);
+    void field(const std::string &key, bool v);
+    void field(const std::string &key, const std::string &v);
+    void field(const std::string &key, const char *v);
+    /** @} */
+
+    /** @{ Bare values (inside an array). */
+    void value(std::uint64_t v);
+    void value(double v);
+    void value(const std::string &v);
+    /** @} */
+
+  private:
+    void comma();
+    void key(const std::string &k);
+    void open(char opener, char closer);
+
+    /** One open container: its closing bracket and comma state. */
+    struct Level
+    {
+        char closer;
+        bool needComma;
+    };
+
+    std::ostream &os;
+    std::vector<Level> levels;
+};
 
 /**
  * Write the whole registry as a JSON object:

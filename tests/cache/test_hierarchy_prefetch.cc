@@ -80,7 +80,9 @@ TEST_F(HierarchyTest, PrefetchIntoFullMlcEvicts)
         hier.coreWrite(0, 0x100000 + i * mem::lineSize);
 
     int observed = 0;
-    hier.setMlcWbObserver([&](sim::CoreId) { ++observed; });
+    auto countWb = [&](sim::CoreId) { ++observed; };
+    hier.setMlcWbObserver(
+        cache::MemoryHierarchy::MlcWbObserver::fromCallable(&countWb));
 
     hier.pcieWrite(0x1000);
     hier.mlcPrefetch(0, 0x1000);

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * SweepRunner tests: ordered collection, parallel determinism, and
+ * exception propagation.
+ *
+ * The determinism tests are the contract the figure benches' --jobs=N
+ * flag rests on: a sweep run on 8 threads must produce the same
+ * per-config Totals, bit for bit, as a serial run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "harness/sweep.hh"
+#include "harness/system.hh"
+
+namespace
+{
+
+/** A small but non-trivial config: one burst through a short ring. */
+harness::ExperimentConfig
+tinyConfig(idio::Policy policy, double gbps)
+{
+    harness::ExperimentConfig cfg;
+    cfg.numNfs = 2;
+    cfg.nfKind = harness::NfKind::TouchDrop;
+    cfg.nic.ringSize = 128;
+    cfg.rateGbps = gbps;
+    cfg.applyPolicy(policy);
+    return cfg;
+}
+
+harness::Totals
+runOne(const harness::ExperimentConfig &cfg)
+{
+    harness::TestSystem sys(cfg);
+    sys.start();
+    sys.runFor(2 * sim::oneMs);
+    return sys.totals();
+}
+
+std::vector<harness::ExperimentConfig>
+fig10StyleConfigs()
+{
+    std::vector<harness::ExperimentConfig> configs;
+    for (double gbps : {100.0, 25.0}) {
+        for (auto policy : {idio::Policy::Ddio, idio::Policy::Idio})
+            configs.push_back(tinyConfig(policy, gbps));
+    }
+    return configs;
+}
+
+TEST(SweepRunner, MapPreservesOrder)
+{
+    harness::SweepRunner runner(4);
+    std::vector<int> items(64);
+    for (int i = 0; i < 64; ++i)
+        items[i] = i;
+    const auto out =
+        runner.map(items, [](const int &v) { return v * v; });
+    ASSERT_EQ(out.size(), 64u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(SweepRunner, ParallelMatchesSerialBitIdentical)
+{
+    const auto configs = fig10StyleConfigs();
+
+    harness::SweepRunner serial(1);
+    harness::SweepRunner parallel(8);
+    const auto a = serial.map(configs, runOne);
+    const auto b = parallel.map(configs, runOne);
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i], b[i])
+            << "config " << i << " diverged under parallel execution";
+    }
+}
+
+TEST(SweepRunner, SameSeedRunsAreIdentical)
+{
+    const auto cfg = tinyConfig(idio::Policy::Idio, 100.0);
+    const auto first = runOne(cfg);
+    const auto second = runOne(cfg);
+    EXPECT_EQ(first, second) << "same-seed reruns must be identical";
+}
+
+TEST(SweepRunner, HardwareJobsIsPositive)
+{
+    EXPECT_GE(harness::SweepRunner::hardwareJobs(), 1u);
+}
+
+TEST(SweepRunner, EmptyInputYieldsEmptyOutput)
+{
+    harness::SweepRunner runner(8);
+    const std::vector<int> none;
+    EXPECT_TRUE(runner.map(none, [](const int &v) { return v; })
+                    .empty());
+}
+
+TEST(SweepRunner, TaskExceptionPropagates)
+{
+    harness::SweepRunner runner(4);
+    std::vector<int> items(16, 1);
+    EXPECT_THROW(
+        runner.map(items,
+                   [](const int &v) -> int {
+                       if (v)
+                           throw std::runtime_error("boom");
+                       return v;
+                   }),
+        std::runtime_error);
+}
+
+} // anonymous namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "idio/controller.hh"
 #include "idio/prefetcher.hh"
 #include "sim/simulation.hh"
@@ -23,8 +25,12 @@ class CpuPacedTest : public ::testing::Test
         pf = std::make_unique<idio::MlcPrefetcher>(
             s, "pf", *hier, 0, /*depth=*/32,
             sim::nsToTicks(10.0), /*window=*/4);
+        // The delegate is non-owning: bind a fixture-member callable
+        // that lives as long as the hierarchy does.
+        retireFn = [this](sim::CoreId) { pf->onRetire(); };
         hier->setPrefetchRetireObserver(
-            [this](sim::CoreId) { pf->onRetire(); });
+            cache::MemoryHierarchy::PrefetchRetireObserver::fromCallable(
+                &retireFn));
     }
 
     void
@@ -39,6 +45,7 @@ class CpuPacedTest : public ::testing::Test
     sim::Simulation s;
     std::unique_ptr<cache::MemoryHierarchy> hier;
     std::unique_ptr<idio::MlcPrefetcher> pf;
+    std::function<void(sim::CoreId)> retireFn;
 };
 
 TEST_F(CpuPacedTest, StallsAtWindow)

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare two perf_smoke JSON trajectory points and flag regressions.
+
+Usage:
+  tools/bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.15]
+
+Both files are BENCH_perf.json outputs (see bench/perf_smoke.cc). The
+comparison walks every numeric leaf shared by both files and infers the
+"good" direction from the metric name:
+
+  higher is better   *PerSec, *speedup*
+  lower is better    nsPer*, *wallSec*, *WallSec*
+  informational      ops, configs, jobs, hw_threads, deterministic —
+                     never compared
+
+A metric that moved in the bad direction by more than --tolerance
+(default 15%) is a regression; the script prints every shared metric,
+marks regressions, and exits 1 if any were found. Wall-clock numbers
+are only meaningful when baseline and current ran on comparable hosts;
+CI therefore treats this gate as advisory (continue-on-error), while
+the committed trajectory is refreshed deliberately.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+INFORMATIONAL = {"ops", "configs", "jobs", "hw_threads", "deterministic"}
+
+
+def flatten(node, prefix=""):
+    """Yield (dotted-path, value) for every numeric leaf."""
+    if isinstance(node, dict):
+        for key, val in node.items():
+            yield from flatten(val, f"{prefix}{key}.")
+    elif isinstance(node, bool):
+        return  # bool is an int subclass in python; never compare
+    elif isinstance(node, (int, float)):
+        yield prefix.rstrip("."), node
+
+
+def direction(path: str):
+    """Return +1 (higher better), -1 (lower better), or None (skip)."""
+    leaf = path.rsplit(".", 1)[-1]
+    if leaf in INFORMATIONAL:
+        return None
+    if leaf.endswith("PerSec") or "speedup" in leaf:
+        return +1
+    if leaf.startswith("nsPer") or "wallSec" in leaf.lower():
+        return -1
+    return None
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", type=Path)
+    ap.add_argument("current", type=Path)
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed fractional move in the bad direction (default 0.15)",
+    )
+    args = ap.parse_args()
+
+    base = dict(flatten(json.loads(args.baseline.read_text())))
+    cur = dict(flatten(json.loads(args.current.read_text())))
+
+    regressions = []
+    compared = 0
+    for path in sorted(base.keys() & cur.keys()):
+        sense = direction(path)
+        if sense is None:
+            continue
+        b, c = base[path], cur[path]
+        if b == 0:
+            continue
+        change = (c - b) / abs(b)  # >0 means the value went up
+        bad = -sense * change  # >0 means it moved the wrong way
+        flag = "REGRESSION" if bad > args.tolerance else "ok"
+        if flag != "ok":
+            regressions.append(path)
+        compared += 1
+        print(f"{flag:>10}  {path:<42} {b:>14.4g} -> {c:>14.4g} "
+              f"({change:+.1%})")
+
+    if compared == 0:
+        print("error: no comparable metrics shared by the two files",
+              file=sys.stderr)
+        return 2
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.tolerance:.0%}: {', '.join(regressions)}")
+        return 1
+    print(f"\nall {compared} compared metrics within {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
