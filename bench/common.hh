@@ -21,6 +21,7 @@
 
 #include "harness/sweep.hh"
 #include "harness/system.hh"
+#include "harness/trace_artifacts.hh"
 #include "stats/json.hh"
 #include "stats/table.hh"
 
@@ -35,11 +36,18 @@ namespace bench
  *               order and are bit-identical to a serial run.
  *   --json=FILE additionally write every measured row to FILE as JSON
  *               for plotting scripts and CI trend tracking.
+ *   --trace=FILE record a packet-lifecycle event trace of the FIRST
+ *               sweep case (re-run serially after the sweep) as
+ *               Chrome trace-event JSON for Perfetto, plus a
+ *               FILE.totals.json sidecar with the run's
+ *               harness::Totals for tools/trace_summary.py
+ *               cross-checking.
  */
 struct BenchOptions
 {
     unsigned jobs = 1;
     std::string jsonPath;
+    std::string tracePath;
 };
 
 inline BenchOptions
@@ -54,12 +62,16 @@ parseBenchOptions(int argc, char **argv)
             opts.jobs = n ? n : harness::SweepRunner::hardwareJobs();
         } else if (arg.rfind("--json=", 0) == 0) {
             opts.jsonPath = arg.substr(7);
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            opts.tracePath = arg.substr(8);
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
-                "usage: %s [--jobs=N] [--json=FILE]\n"
+                "usage: %s [--jobs=N] [--json=FILE] [--trace=FILE]\n"
                 "  --jobs=N    parallel sweep threads "
                 "(0 = all %u host threads; results identical)\n"
-                "  --json=FILE write measured rows as JSON\n",
+                "  --json=FILE write measured rows as JSON\n"
+                "  --trace=FILE write a Perfetto-compatible event "
+                "trace of the first case\n",
                 argv[0], harness::SweepRunner::hardwareJobs());
             std::exit(0);
         } else {
@@ -100,16 +112,22 @@ struct RunMetrics
  * Run one burst per NIC and measure burst processing time: the system
  * runs in small quanta until every delivered packet is processed (or
  * @p limit passes).
+ *
+ * With a non-empty @p tracePath the run records a packet-lifecycle
+ * event trace and writes it (plus the totals sidecar) on completion.
  */
 inline RunMetrics
 runSingleBurst(const harness::ExperimentConfig &config,
-               sim::Tick limit = 50 * sim::oneMs)
+               sim::Tick limit = 50 * sim::oneMs,
+               const std::string &tracePath = {})
 {
     harness::ExperimentConfig cfg = config;
     cfg.traffic = harness::TrafficKind::Bursty;
     cfg.burstPeriod = 10 * sim::oneSec; // effectively one burst
 
     harness::TestSystem sys(cfg);
+    if (!tracePath.empty())
+        harness::enableTracing(sys);
     sys.start();
 
     const std::uint64_t expected =
@@ -142,7 +160,26 @@ runSingleBurst(const harness::ExperimentConfig &config,
     m.p99 = sys.nf(0).latency.p99();
     if (sys.antagonist())
         m.antagonistTpa = sys.antagonist()->ticksPerAccess();
+    if (!tracePath.empty())
+        harness::writeTraceArtifacts(tracePath, sys);
     return m;
+}
+
+/**
+ * Honour --trace=FILE: re-run @p cfg serially with event tracing on
+ * and write the trace + totals sidecar. Kept separate from the sweep
+ * so the measured (and possibly parallel) runs stay untraced.
+ */
+inline void
+maybeTraceRun(const BenchOptions &opts,
+              const harness::ExperimentConfig &cfg,
+              sim::Tick limit = 50 * sim::oneMs)
+{
+    if (opts.tracePath.empty())
+        return;
+    runSingleBurst(cfg, limit, opts.tracePath);
+    std::printf("# trace written to %s (+ .totals.json sidecar)\n",
+                opts.tracePath.c_str());
 }
 
 /** Run a fixed duration (steady experiments). */

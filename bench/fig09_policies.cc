@@ -93,5 +93,7 @@ main(int argc, char **argv)
     std::printf("Shape check vs. paper: Invalidate rows ~zero mlcWB; "
                 "Prefetch rows lower llcWB but high mlcWB; Static == "
                 "IDIO at 25 Gbps; IDIO < Static mlcWB at 100 Gbps.\n");
+    bench::maybeTraceRun(opts, cases.front().cfg);
+
     return 0;
 }

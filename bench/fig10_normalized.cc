@@ -110,5 +110,7 @@ main(int argc, char **argv)
         "scenario (lower is better; paper Fig. 10).\n"
         "Shape check: mlcWB <=0.4 at 100/25G; dramWr ~0 at 25G; "
         "exeTime <1 at 100/25G; antagCPI <1 in co-run rows.\n");
+    bench::maybeTraceRun(opts, cases.front().cfg);
+
     return 0;
 }

@@ -110,5 +110,7 @@ main(int argc, char **argv)
                 "every scenario, with the largest reduction at "
                 "25 Gbps; co-running inflates DDIO's tail more than "
                 "IDIO's.\n");
+    bench::maybeTraceRun(opts, cases.front().cfg);
+
     return 0;
 }

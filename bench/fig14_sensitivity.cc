@@ -75,5 +75,7 @@ main(int argc, char **argv)
     std::printf("\nAll values normalised to DDIO at the same rate. "
                 "Shape check vs. paper: every column stays below 1.0 "
                 "and varies only mildly across the sweep.\n");
+    bench::maybeTraceRun(opts, cases.front().cfg);
+
     return 0;
 }

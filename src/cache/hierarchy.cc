@@ -26,7 +26,7 @@ MemoryHierarchy::MemoryHierarchy(sim::Simulation &simulation,
                  "inbound DMA cacheline writes"),
       coherenceMigrations(statGroup, "coherenceMigrations",
                           "lines migrated between private caches"),
-      cfg(config)
+      cfg(config), trc(simulation.tracer().registerSource(name))
 {
     if (cfg.numCores == 0 || cfg.numCores > 63)
         sim::fatal("numCores %u out of range [1, 63]", cfg.numCores);
@@ -163,10 +163,15 @@ MemoryHierarchy::installMlc(sim::CoreId core, sim::Addr addr, bool dirty,
         evictMlcVictim(core, *slot.line);
     CacheLine &line = mlcc.tags().fill(slot, addr, dirty, io);
     line.prefetched = isPrefetch;
-    if (isPrefetch)
+    if (isPrefetch) {
         ++mlcc.prefetchFills;
-    else
+        IDIO_TRACE_INSTANT(trc, trace::EventKind::CacheMlcPrefetchFill,
+                           now(), 0, core, addr);
+    } else {
         ++mlcc.fills;
+        IDIO_TRACE_INSTANT(trc, trace::EventKind::CacheMlcFill, now(),
+                           0, core, addr);
+    }
 
     DirectoryVictim dv = dir->add(core, addr);
     if (dv.valid)
@@ -191,6 +196,8 @@ MemoryHierarchy::evictMlcVictim(sim::CoreId core, CacheLine victim)
         ++mlcc.writebacks;
     else
         ++mlcc.cleanEvictions;
+    IDIO_TRACE_INSTANT(trc, trace::EventKind::CacheMlcEvict, now(), 0,
+                       victim.dirty ? 1 : 0, victim.addr);
 
     if (victim.dirty || cfg.insertCleanVictims) {
         llcInsertVictim(victim.addr, victim.dirty, victim.io,
@@ -224,6 +231,8 @@ MemoryHierarchy::evictLlcLine(const CacheLine &line)
     if (line.dirty) {
         dramModel->access(mem::AccessType::Write);
         ++sharedLlc->writebacks;
+        IDIO_TRACE_INSTANT(trc, trace::EventKind::CacheLlcWb, now(),
+                           0, 0, line.addr);
     } else {
         ++sharedLlc->cleanDrops;
     }
@@ -283,6 +292,8 @@ MemoryHierarchy::invalidateMlcCopies(sim::Addr addr)
             notePrefetchGone(c, *ref.line);
             mlcs[c]->tags().invalidate(ref);
             ++mlcs[c]->pcieInvals;
+            IDIO_TRACE_INSTANT(trc, trace::EventKind::CachePcieInval,
+                               now(), 0, c, addr);
         }
     }
     dir->removeAll(addr);
@@ -339,6 +350,8 @@ MemoryHierarchy::handleDirectoryVictim(const DirectoryVictim &victim)
                 ++mlcs[c]->writebacks;
             else
                 ++mlcs[c]->cleanEvictions;
+            IDIO_TRACE_INSTANT(trc, trace::EventKind::CacheMlcEvict,
+                               now(), 0, dirty ? 1 : 0, victim.addr);
             if (dirty || cfg.insertCleanVictims) {
                 llcInsertVictim(victim.addr, dirty, io,
                                 cfg.coreLlcMask(c));
@@ -363,6 +376,8 @@ MemoryHierarchy::coreInvalidate(sim::CoreId core, sim::Addr addr)
         notePrefetchGone(core, *ref.line);
         mlcs[core]->tags().invalidate(ref);
         ++mlcs[core]->selfInvals;
+        IDIO_TRACE_INSTANT(trc, trace::EventKind::CacheSelfInval,
+                           now(), 0, core, addr);
     }
     dir->remove(core, addr);
 
@@ -405,18 +420,23 @@ MemoryHierarchy::pcieWrite(sim::Addr addr)
         ref.line->io = true;
         sharedLlc->tags().touch(ref);
         ++sharedLlc->ddioUpdates;
+        IDIO_TRACE_INSTANT(trc, trace::EventKind::CacheDdioUpdate,
+                           now(), 0, 0, addr);
         return;
     }
 
     // P1/P5: write-allocate into the DDIO ways.
     LineRef slot =
         sharedLlc->tags().findFillSlot(addr, sharedLlc->ddioMask());
-    if (slot.line->valid) {
+    const bool displaced = slot.line->valid;
+    if (displaced) {
         evictLlcLine(*slot.line);
         ++sharedLlc->ddioWayEvictions;
     }
     sharedLlc->tags().fill(slot, addr, true, true).ddioAlloc = true;
     ++sharedLlc->ddioAllocs;
+    IDIO_TRACE_INSTANT(trc, trace::EventKind::CacheDdioAlloc, now(),
+                       0, displaced ? 1 : 0, addr);
 }
 
 void
@@ -425,6 +445,8 @@ MemoryHierarchy::pcieWriteDirectDram(sim::Addr addr)
     addr = mem::lineAlign(addr);
     ++pcieWrites;
     ++directDramWrites;
+    IDIO_TRACE_INSTANT(trc, trace::EventKind::CacheDramDirect, now(),
+                       0, 0, addr);
 
     invalidateMlcCopies(addr);
     if (LineRef ref = sharedLlc->probe(addr)) {
@@ -455,8 +477,14 @@ MemoryHierarchy::pcieRead(sim::Addr addr)
                 notePrefetchGone(c, *ref.line);
                 mlcs[c]->tags().invalidate(ref);
                 ++mlcs[c]->pcieInvals;
+                IDIO_TRACE_INSTANT(
+                    trc, trace::EventKind::CachePcieInval, now(), 0,
+                    c, addr);
                 if (dirty) {
                     ++mlcs[c]->writebacks;
+                    IDIO_TRACE_INSTANT(
+                        trc, trace::EventKind::CacheMlcEvict, now(),
+                        0, 1, addr);
                     llcInsertVictim(addr, true, io, ~WayMask(0));
                     if (mlcWbObserver)
                         mlcWbObserver(c);

@@ -37,6 +37,7 @@
 #include "mem/dram.hh"
 #include "sim/delegate.hh"
 #include "sim/sim_object.hh"
+#include "trace/tracer.hh"
 
 namespace cache
 {
@@ -212,6 +213,7 @@ class MemoryHierarchy : public sim::SimObject
     }
 
     HierarchyConfig cfg;
+    trace::Source trc;
     sim::Tick l1Lat;
     sim::Tick mlcLat;
     sim::Tick llcLat;

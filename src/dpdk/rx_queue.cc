@@ -11,6 +11,7 @@ namespace dpdk
 RxQueue::RxQueue(cpu::Core &core, nic::Nic &port, Mempool &pool,
                  const PmdConfig &config)
     : core(core), nicPort(port), pool(pool), cfg(config),
+      trc(port.tracer().registerSource(port.name() + ".pmd")),
       tailUpdateCost(sim::nsToTicks(config.tailUpdateNs))
 {
 }
@@ -40,6 +41,11 @@ RxQueue::pollBurst()
         res.latency = core.read(ring.descAddr(ring.swHead()), 1);
         return res;
     }
+
+    // Sampled only on non-empty polls so idle polling cannot flood
+    // the ring with identical zero samples.
+    IDIO_TRACE_COUNTER(trc, trace::EventKind::DpdkRingBacklog,
+                       core.now(), ring.backlog(), 0);
 
     while (res.mbufs.size() < cfg.burst && ring.swReady()) {
         const std::uint32_t descIdx = ring.swConsume();
@@ -71,6 +77,8 @@ RxQueue::refill()
         if (idx == invalidMbuf)
             break; // buffers still in flight; retry next batch
         lat += core.read(pool.freeListSlotAddr(), 1);
+        IDIO_TRACE_INSTANT(trc, trace::EventKind::DpdkAlloc,
+                           core.now(), 0, 0, idx);
         ring.swArm(armNext, pool.at(idx).dataAddr, idx);
         lat += core.write(ring.descAddr(armNext), nic::rxDescBytes);
         armNext = (armNext + 1) % ring.size();

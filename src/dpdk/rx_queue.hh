@@ -21,6 +21,7 @@
 #include "dpdk/mbuf.hh"
 #include "nic/nic.hh"
 #include "sim/types.hh"
+#include "trace/tracer.hh"
 
 namespace dpdk
 {
@@ -80,6 +81,7 @@ class RxQueue
     nic::Nic &nicPort;
     Mempool &pool;
     PmdConfig cfg;
+    trace::Source trc;
     std::uint32_t armNext = 0; ///< next ring index to re-arm
     std::uint32_t toRefill = 0;
     sim::Tick tailUpdateCost;

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Trace artifact output implementation.
+ */
+
+#include "trace_artifacts.hh"
+
+#include <fstream>
+
+#include "stats/json.hh"
+#include "trace/chrome_export.hh"
+
+namespace harness
+{
+
+void
+enableTracing(TestSystem &system, std::size_t eventsPerSource)
+{
+    trace::Tracer &tracer = system.simulation().tracer();
+    tracer.setCapacity(eventsPerSource);
+    tracer.enable();
+}
+
+void
+writeTraceArtifacts(const std::string &path, TestSystem &system)
+{
+    if (!trace::writeChromeTrace(path, system.simulation().tracer()))
+        sim::fatal("cannot write trace file '%s'", path.c_str());
+
+    const Totals t = system.totals();
+    cache::MemoryHierarchy &hier = system.hierarchy();
+    std::uint64_t prefetchFills = 0;
+    std::uint64_t selfInvals = 0;
+    for (std::uint32_t c = 0; c < hier.numCores(); ++c) {
+        prefetchFills += hier.mlcOf(c).prefetchFills.get();
+        selfInvals += hier.mlcOf(c).selfInvals.get();
+    }
+
+    const std::string sidecar = path + ".totals.json";
+    std::ofstream ofs(sidecar);
+    if (!ofs)
+        sim::fatal("cannot write totals sidecar '%s'",
+                   sidecar.c_str());
+    stats::JsonWriter w(ofs);
+    w.beginObject();
+    w.field("rxPackets", t.rxPackets);
+    w.field("rxDrops", t.rxDrops);
+    w.field("processedPackets", t.processedPackets);
+    w.field("mlcWritebacks", t.mlcWritebacks);
+    w.field("mlcPcieInvals", t.mlcPcieInvals);
+    w.field("llcWritebacks", t.llcWritebacks);
+    w.field("pcieWrites", hier.pcieWrites.get());
+    w.field("ddioUpdates", hier.llc().ddioUpdates.get());
+    w.field("ddioAllocs", hier.llc().ddioAllocs.get());
+    w.field("directDramWrites", hier.directDramWrites.get());
+    w.field("mlcPrefetchFills", prefetchFills);
+    w.field("mlcSelfInvals", selfInvals);
+    w.field("traceDropped",
+            system.simulation().tracer().totalDropped());
+    w.end();
+    ofs << "\n";
+}
+
+} // namespace harness

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Trace artifact output for traced TestSystem runs.
+ *
+ * A traced run produces two files:
+ *
+ *  - PATH: the Chrome trace-event JSON (open in Perfetto or
+ *    chrome://tracing);
+ *  - PATH.totals.json: a sidecar with the same run's
+ *    harness::Totals and the placement counters, so
+ *    tools/trace_summary.py --check-totals can assert that the
+ *    trace-derived counts exactly match what the simulator counted.
+ */
+
+#ifndef IDIO_HARNESS_TRACE_ARTIFACTS_HH
+#define IDIO_HARNESS_TRACE_ARTIFACTS_HH
+
+#include <string>
+
+#include "harness/system.hh"
+
+namespace harness
+{
+
+/**
+ * Enable event tracing on @p system (call before start()).
+ *
+ * @param eventsPerSource Per-source ring capacity; the default holds
+ *        a full single-burst bench run without wraparound.
+ */
+void enableTracing(TestSystem &system,
+                   std::size_t eventsPerSource = 1u << 18);
+
+/**
+ * Write the trace of a finished run to @p path and the totals
+ * sidecar to @p path`.totals.json`. Fatals when a file cannot be
+ * written.
+ */
+void writeTraceArtifacts(const std::string &path, TestSystem &system);
+
+} // namespace harness
+
+#endif // IDIO_HARNESS_TRACE_ARTIFACTS_HH

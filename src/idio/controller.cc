@@ -27,6 +27,7 @@ IdioController::IdioController(sim::Simulation &simulation,
       highPressureIntervals(statGroup, "highPressureIntervals",
                             "core-intervals with high MLC pressure"),
       hier(hierarchy), cfg(config),
+      trc(simulation.tracer().registerSource(name)),
       thrPerInterval(config.thresholdPerInterval()),
       fsms(hierarchy.numCores()),
       wbThisInterval(hierarchy.numCores(), 0),
@@ -85,8 +86,13 @@ IdioController::dmaWrite(sim::Addr addr, const nic::TlpMeta &meta)
 
     // Burst notification resets the FSM to the MLC state (Alg. 1 l.3).
     if (meta.isBurst && cfg.dynamicFsm && cfg.mlcPrefetch) {
-        if (fsms[meta.destCore].state() != 0)
+        if (fsms[meta.destCore].state() != 0) {
             ++burstSignals;
+            IDIO_TRACE_INSTANT(trc, trace::EventKind::IdioBurst, now(),
+                               0, meta.destCore, 0);
+            IDIO_TRACE_COUNTER(trc, trace::EventKind::IdioFsm, now(),
+                               0, meta.destCore);
+        }
         fsms[meta.destCore].onBurst();
     }
 
@@ -96,6 +102,8 @@ IdioController::dmaWrite(sim::Addr addr, const nic::TlpMeta &meta)
         hier.pcieWrite(addr);
         prefetchers[meta.destCore]->hint(addr);
         ++headerHints;
+        IDIO_TRACE_INSTANT(trc, trace::EventKind::IdioHintHeader,
+                           now(), 0, meta.destCore, addr);
         return;
     }
 
@@ -103,6 +111,8 @@ IdioController::dmaWrite(sim::Addr addr, const nic::TlpMeta &meta)
     if (meta.appClass == 1 && cfg.directDram) {
         hier.pcieWriteDirectDram(addr);
         ++directDramSteers;
+        IDIO_TRACE_INSTANT(trc, trace::EventKind::IdioDirectDram,
+                           now(), 0, meta.destCore, addr);
         return;
     }
 
@@ -112,6 +122,8 @@ IdioController::dmaWrite(sim::Addr addr, const nic::TlpMeta &meta)
     if (cfg.mlcPrefetch && status(meta.destCore) == Steering::Mlc) {
         prefetchers[meta.destCore]->hint(addr);
         ++payloadHints;
+        IDIO_TRACE_INSTANT(trc, trace::EventKind::IdioHintPayload,
+                           now(), 0, meta.destCore, addr);
     }
 }
 
@@ -130,8 +142,14 @@ IdioController::controlPlaneTick()
             wbThisInterval[c] > wbAvg[c] + thrPerInterval;
         if (high)
             ++highPressureIntervals;
-        if (cfg.mlcPrefetch && cfg.dynamicFsm)
+        if (cfg.mlcPrefetch && cfg.dynamicFsm) {
+            const std::uint8_t before = fsms[c].state();
             fsms[c].step(high);
+            if (fsms[c].state() != before) {
+                IDIO_TRACE_COUNTER(trc, trace::EventKind::IdioFsm,
+                                   now(), fsms[c].state(), c);
+            }
+        }
         wbAccum[c] += wbThisInterval[c];
         wbThisInterval[c] = 0;
     }

@@ -29,6 +29,7 @@
 #include "sim/periodic.hh"
 #include "sim/sim_object.hh"
 #include "stats/registry.hh"
+#include "trace/tracer.hh"
 
 namespace idio
 {
@@ -101,6 +102,7 @@ class IdioController : public sim::SimObject, public nic::DmaTarget
 
     cache::MemoryHierarchy &hier;
     IdioConfig cfg;
+    trace::Source trc;
     std::uint32_t thrPerInterval;
 
     std::vector<SteeringFsm> fsms;

@@ -32,6 +32,14 @@ struct Packet
     sim::Tick genTime = 0;                    ///< left the generator
     sim::Tick nicArrival = 0;                 ///< hit the NIC MAC
 
+    /**
+     * Trace correlation id, assigned by the NIC at MAC arrival
+     * (trace::Tracer::newPacketId; 0 = never delivered). Threaded
+     * through nic::RxSlot and dpdk::Mbuf so every lifecycle trace
+     * event of one packet shares the id.
+     */
+    std::uint64_t id = 0;
+
     /** Payload bytes after the protocol headers. */
     std::uint32_t
     payloadBytes() const

@@ -27,6 +27,7 @@ NetworkFunction::NetworkFunction(sim::Simulation &simulation,
       latency(statGroup, "latency",
               "per-packet NIC-arrival-to-completion latency (ticks)"),
       rxq(rxQueue), core(core), cfg(config),
+      trc(simulation.tracer().registerSource(name)),
       perPacketCost(sim::nsToTicks(config.perPacketCostNs)),
       perLineCost(sim::nsToTicks(config.perLineCostNs)),
       idleGap(sim::nsToTicks(config.idlePollGapNs))
@@ -68,6 +69,11 @@ NetworkFunction::step(cpu::Core &c)
 
     ++packetsProcessed;
     bytesProcessed += m.pktBytes;
+    // The span starts at the current step's begin; the CPU charges
+    // the accrued latency after step() returns, so `lat` is this
+    // packet's share of wall-clock core time.
+    IDIO_TRACE_COMPLETE(trc, trace::EventKind::NfConsume, now(), lat,
+                        m.pkt.id, c.id(), m.pktBytes);
 
     if (!asyncCompletion())
         lat += completePacket(idx, lat);
@@ -88,6 +94,8 @@ NetworkFunction::completePacket(std::uint32_t mbufIdx, sim::Tick accrued)
     if (invalidateOnComplete() && m.pktBytes > 0)
         lat += core.invalidate(m.dataAddr, m.pktBytes);
     lat += core.write(rxq.mempool().freeListSlotAddr(), 1);
+    IDIO_TRACE_INSTANT(trc, trace::EventKind::DpdkFree, now(),
+                       m.pkt.id, 0, mbufIdx);
     rxq.mempool().free(mbufIdx);
     return lat;
 }

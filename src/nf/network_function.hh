@@ -24,6 +24,7 @@
 #include "sim/sim_object.hh"
 #include "stats/latency_recorder.hh"
 #include "stats/registry.hh"
+#include "trace/tracer.hh"
 
 namespace nf
 {
@@ -114,6 +115,7 @@ class NetworkFunction : public cpu::Workload, public sim::SimObject
     dpdk::RxQueue &rxq;
     cpu::Core &core;
     NfConfig cfg;
+    trace::Source trc;
     sim::Tick perPacketCost;
     sim::Tick perLineCost;
     sim::Tick idleGap;

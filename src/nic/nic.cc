@@ -21,7 +21,8 @@ Nic::Nic(sim::Simulation &simulation, const std::string &name,
               "packets dropped because the RX ring was full"),
       txPackets(statGroup, "txPackets", "packets transmitted"),
       txBytes(statGroup, "txBytes", "bytes transmitted"),
-      cfg(config), fdir(numCores),
+      cfg(config), trc(simulation.tracer().registerSource(name)),
+      fdir(numCores),
       dma(simulation, name + ".dma", target, config.pcieGBps),
       cls(simulation, name + ".classifier", fdir, config.classifier,
           numCores),
@@ -42,17 +43,24 @@ void
 Nic::deliver(net::Packet pkt)
 {
     pkt.nicArrival = now();
+    pkt.id = tracer().newPacketId();
     ++rxPackets;
     rxBytes += pkt.frameBytes;
+    IDIO_TRACE_INSTANT(trc, trace::EventKind::NicRx, pkt.nicArrival,
+                       pkt.id, pkt.dscp, pkt.frameBytes);
     if (rxTap)
         rxTap(pkt.nicArrival, pkt);
 
     if (!ring.hwCanFill()) {
         ++rxDrops;
+        IDIO_TRACE_INSTANT(trc, trace::EventKind::NicDrop, now(),
+                           pkt.id, 0, pkt.frameBytes);
         return;
     }
 
     const Classification pktCls = cls.classify(pkt);
+    IDIO_TRACE_INSTANT(trc, trace::EventKind::NicClassify, now(),
+                       pkt.id, pktCls.appClass, pktCls.destCore);
     const std::uint32_t idx = ring.hwClaim(pkt);
     const RxSlot &slot = ring.slot(idx);
 
@@ -61,7 +69,13 @@ Nic::deliver(net::Packet pkt)
         dma.enqueueWrite(slot.bufAddr + std::uint64_t(i) * mem::lineSize,
                          cls.tlpFor(pktCls, i == 0));
     }
-    dma.enqueueCallback([this, idx, pktCls] {
+    const sim::Tick dmaStart = now();
+    dma.enqueueCallback([this, idx, pktCls, dmaStart,
+                         pktId = pkt.id, lines,
+                         bufAddr = slot.bufAddr] {
+        IDIO_TRACE_COMPLETE(trc, trace::EventKind::NicDmaPayload,
+                            dmaStart, now() - dmaStart, pktId, lines,
+                            bufAddr);
         startDescriptorWriteback(idx, pktCls);
     });
 }
@@ -89,6 +103,8 @@ Nic::startDescriptorWriteback(std::uint32_t descIdx,
         }
         dma.enqueueCallback([this, descIdx] {
             ring.hwComplete(descIdx);
+            IDIO_TRACE_INSTANT(trc, trace::EventKind::NicDescWb, now(),
+                               ring.slot(descIdx).pkt.id, 0, descIdx);
         });
     });
 }

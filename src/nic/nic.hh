@@ -24,6 +24,7 @@
 #include "nic/rx_ring.hh"
 #include "sim/sim_object.hh"
 #include "stats/registry.hh"
+#include "trace/tracer.hh"
 
 namespace nic
 {
@@ -103,6 +104,7 @@ class Nic : public sim::SimObject
 
     NicConfig cfg;
     RxTap rxTap;
+    trace::Source trc;
     FlowDirector fdir;
     DmaEngine dma;
     IdioClassifier cls;

@@ -21,6 +21,12 @@ SimObject::eventq() const
     return sim.eventq();
 }
 
+trace::Tracer &
+SimObject::tracer() const
+{
+    return sim.tracer();
+}
+
 Tick
 SimObject::now() const
 {

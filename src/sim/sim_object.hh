@@ -16,6 +16,11 @@
 
 #include "types.hh"
 
+namespace trace
+{
+class Tracer;
+}
+
 namespace sim
 {
 
@@ -46,6 +51,9 @@ class SimObject
 
     /** Event queue shorthand. */
     EventQueue &eventq() const;
+
+    /** Event tracer shorthand. */
+    trace::Tracer &tracer() const;
 
     /** Current simulated time shorthand. */
     Tick now() const;

@@ -8,13 +8,15 @@
 #include <functional>
 
 #include "stats/registry.hh"
+#include "trace/tracer.hh"
 
 namespace sim
 {
 
 Simulation::Simulation(std::uint64_t seed)
     : rootRng(seed), seed(seed),
-      statsReg(std::make_unique<stats::Registry>())
+      statsReg(std::make_unique<stats::Registry>()),
+      tracerPtr(std::make_unique<trace::Tracer>())
 {
 }
 

@@ -23,6 +23,11 @@ namespace stats
 class Registry;
 }
 
+namespace trace
+{
+class Tracer;
+}
+
 namespace sim
 {
 
@@ -48,6 +53,13 @@ class Simulation
     /** Stats registry for all SimObjects in this simulation. */
     stats::Registry &statsRegistry() { return *statsReg; }
 
+    /**
+     * Packet-lifecycle event tracer for this simulation (disabled
+     * until trace::Tracer::enable(); see src/trace/tracer.hh).
+     */
+    trace::Tracer &tracer() { return *tracerPtr; }
+    const trace::Tracer &tracer() const { return *tracerPtr; }
+
     /** Root RNG; components derive their own via deriveRng(). */
     Rng &rng() { return rootRng; }
 
@@ -72,6 +84,7 @@ class Simulation
     Rng rootRng;
     std::uint64_t seed;
     std::unique_ptr<stats::Registry> statsReg;
+    std::unique_ptr<trace::Tracer> tracerPtr;
 };
 
 } // namespace sim

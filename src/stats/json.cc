@@ -206,6 +206,13 @@ JsonWriter::field(const std::string &k, const char *v)
 }
 
 void
+JsonWriter::fieldRaw(const std::string &k, const std::string &rawJson)
+{
+    key(k);
+    os << rawJson;
+}
+
+void
 JsonWriter::value(std::uint64_t v)
 {
     comma();

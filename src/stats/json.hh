@@ -56,6 +56,15 @@ class JsonWriter
     void field(const std::string &key, bool v);
     void field(const std::string &key, const std::string &v);
     void field(const std::string &key, const char *v);
+
+    /**
+     * Emit @p rawJson verbatim as the value of @p key. For values the
+     * typed overloads cannot express exactly (e.g.\ fixed-point
+     * decimals wider than double's %.9g round-trip, used by the trace
+     * exporter for tick-accurate microsecond timestamps). The caller
+     * guarantees @p rawJson is a valid JSON value.
+     */
+    void fieldRaw(const std::string &key, const std::string &rawJson);
     /** @} */
 
     /** @{ Bare values (inside an array). */

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Chrome trace-event JSON export.
+ *
+ * Serialises a Tracer's retained events into the JSON object format
+ * understood by Perfetto (ui.perfetto.dev) and chrome://tracing: a
+ * "traceEvents" array of instant ("i"), complete ("X") and counter
+ * ("C") records plus thread-name metadata, with one trace "thread"
+ * per event source. Timestamps are microseconds with tick (picosecond)
+ * precision preserved as fixed-point decimals.
+ *
+ * An "idio" metadata section records per-source recorded/dropped
+ * counts so tools/trace_summary.py can detect ring truncation.
+ */
+
+#ifndef IDIO_TRACE_CHROME_EXPORT_HH
+#define IDIO_TRACE_CHROME_EXPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "trace/tracer.hh"
+
+namespace trace
+{
+
+/** Render @p ticks as a decimal microsecond count ("12.345678"). */
+std::string ticksToUsString(sim::Tick ticks);
+
+/** Write the whole trace as one Chrome trace-event JSON object. */
+void writeChromeTrace(std::ostream &os, const Tracer &tracer);
+
+/**
+ * Write the trace to @p path.
+ * @return false when the file cannot be opened.
+ */
+bool writeChromeTrace(const std::string &path, const Tracer &tracer);
+
+} // namespace trace
+
+#endif // IDIO_TRACE_CHROME_EXPORT_HH

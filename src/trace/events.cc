@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Event taxonomy tables.
+ */
+
+#include "events.hh"
+
+namespace trace
+{
+
+namespace
+{
+
+/** Per-kind static description. */
+struct KindInfo
+{
+    const char *name;
+    const char *category;
+    Phase phase;
+    const char *argA; ///< nullptr = unused
+    const char *argB; ///< nullptr = unused
+};
+
+constexpr KindInfo kinds[] = {
+    // nic
+    {"nic.rx", "nic", Phase::Instant, "dscp", "bytes"},
+    {"nic.drop", "nic", Phase::Instant, nullptr, "bytes"},
+    {"nic.classify", "nic", Phase::Instant, "appClass", "destCore"},
+    {"nic.dmaPayload", "nic", Phase::Complete, "lines", "addr"},
+    {"nic.descWb", "nic", Phase::Instant, nullptr, "descIdx"},
+    // idio
+    {"idio.hintHeader", "idio", Phase::Instant, "core", "addr"},
+    {"idio.hintPayload", "idio", Phase::Instant, "core", "addr"},
+    {"idio.directDram", "idio", Phase::Instant, "core", "addr"},
+    {"idio.burst", "idio", Phase::Instant, "core", nullptr},
+    {"idio.fsm", "idio", Phase::Counter, "core", nullptr},
+    // cache
+    {"cache.ddioUpdate", "cache", Phase::Instant, nullptr, "addr"},
+    {"cache.ddioAlloc", "cache", Phase::Instant, "evicted", "addr"},
+    {"cache.dramDirect", "cache", Phase::Instant, nullptr, "addr"},
+    {"cache.mlcFill", "cache", Phase::Instant, "core", "addr"},
+    {"cache.mlcPrefetchFill", "cache", Phase::Instant, "core", "addr"},
+    {"cache.mlcEvict", "cache", Phase::Instant, "dirty", "addr"},
+    {"cache.pcieInval", "cache", Phase::Instant, "core", "addr"},
+    {"cache.selfInval", "cache", Phase::Instant, "core", "addr"},
+    {"cache.llcWb", "cache", Phase::Instant, nullptr, "addr"},
+    // dpdk
+    {"dpdk.alloc", "dpdk", Phase::Instant, nullptr, "mbuf"},
+    {"dpdk.free", "dpdk", Phase::Instant, nullptr, "mbuf"},
+    {"dpdk.ringBacklog", "dpdk", Phase::Counter, nullptr, nullptr},
+    // nf
+    {"nf.consume", "nf", Phase::Complete, "core", "bytes"},
+};
+
+static_assert(sizeof(kinds) / sizeof(kinds[0]) ==
+                  static_cast<unsigned>(EventKind::NumKinds),
+              "event table out of sync with EventKind");
+
+const KindInfo &
+info(EventKind kind)
+{
+    return kinds[static_cast<unsigned>(kind)];
+}
+
+} // anonymous namespace
+
+const char *
+eventName(EventKind kind)
+{
+    return info(kind).name;
+}
+
+const char *
+eventCategory(EventKind kind)
+{
+    return info(kind).category;
+}
+
+Phase
+eventPhase(EventKind kind)
+{
+    return info(kind).phase;
+}
+
+const char *
+eventArgAName(EventKind kind)
+{
+    return info(kind).argA;
+}
+
+const char *
+eventArgBName(EventKind kind)
+{
+    return info(kind).argB;
+}
+
+} // namespace trace

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The packet-lifecycle event taxonomy.
+ *
+ * Every trace event carries one EventKind. The kinds follow one DMA'd
+ * cacheline through its life, mirroring the paper's shortcomings
+ * S1..S3 and mechanisms M1..M3: NIC arrival and classifier decision,
+ * payload DMA, IDIO steering hints and FSM movement, cache placement /
+ * eviction / self-invalidation, driver buffer churn, and NF
+ * consumption.
+ *
+ * Kinds are deliberately emitted at exactly the sites where the
+ * corresponding statistics counters increment, so an aggregated trace
+ * is cross-checkable against harness::Totals (see
+ * tests/integration/test_trace_totals.cc and tools/trace_summary.py).
+ */
+
+#ifndef IDIO_TRACE_EVENTS_HH
+#define IDIO_TRACE_EVENTS_HH
+
+#include <cstdint>
+
+namespace trace
+{
+
+/** What happened. Keep eventName()/eventCategory() in sync. */
+enum class EventKind : std::uint8_t
+{
+    /** @{ NIC ingress/egress (src/nic). */
+    NicRx = 0,      ///< packet hit the MAC (== Nic::rxPackets)
+    NicDrop,        ///< RX ring full, packet lost (== Nic::rxDrops)
+    NicClassify,    ///< classifier decision (appClass/destCore/burst)
+    NicDmaPayload,  ///< span: payload TLP stream on the PCIe link
+    NicDescWb,      ///< descriptor writeback completed (DD set)
+    /** @} */
+
+    /** @{ IDIO controller steering (src/idio). */
+    IdioHintHeader,  ///< header cacheline MLC-prefetch hint
+    IdioHintPayload, ///< class-0 payload MLC-prefetch hint
+    IdioDirectDram,  ///< class-1 payload steered straight to DRAM
+    IdioBurst,       ///< burst notification reset an active FSM
+    IdioFsm,         ///< counter: per-core FSM state after a change
+    /** @} */
+
+    /** @{ Cache hierarchy placement and departure (src/cache). */
+    CacheDdioUpdate, ///< inbound write updated a cached line in place
+    CacheDdioAlloc,  ///< inbound write allocated into the DDIO ways
+    CacheDramDirect, ///< inbound write bypassed the hierarchy (M3)
+    CacheMlcFill,    ///< demand fill into a core's MLC
+    CacheMlcPrefetchFill, ///< IDIO prefetch fill into a core's MLC
+    CacheMlcEvict,   ///< MLC eviction (== Totals::mlcWritebacks)
+    CachePcieInval,  ///< MLC copy dropped by DMA (== mlcPcieInvals)
+    CacheSelfInval,  ///< self-invalidate dropped an MLC line (M1)
+    CacheLlcWb,      ///< dead writeback LLC->DRAM (== llcWritebacks)
+    /** @} */
+
+    /** @{ Driver buffer churn (src/dpdk). */
+    DpdkAlloc,       ///< mbuf taken off the free list (ring re-arm)
+    DpdkFree,        ///< mbuf returned to the free list
+    DpdkRingBacklog, ///< counter: completed-but-unconsumed descriptors
+    /** @} */
+
+    /** @{ Network function (src/nf). */
+    NfConsume, ///< span: one packet processed (== processedPackets)
+    /** @} */
+
+    NumKinds,
+};
+
+/** Chrome trace-event phase of one record. */
+enum class Phase : std::uint8_t
+{
+    Instant,  ///< ph "i": point event
+    Complete, ///< ph "X": span with a duration
+    Counter,  ///< ph "C": sampled value
+};
+
+/** Stable event name ("nic.rx", "cache.mlcEvict", ...). */
+const char *eventName(EventKind kind);
+
+/** Category ("nic", "idio", "cache", "dpdk", "nf"). */
+const char *eventCategory(EventKind kind);
+
+/** Natural phase of the kind. */
+Phase eventPhase(EventKind kind);
+
+/**
+ * Names for the two small payload arguments of a kind (nullptr when
+ * the argument is unused and should be omitted from exports).
+ */
+const char *eventArgAName(EventKind kind);
+const char *eventArgBName(EventKind kind);
+
+} // namespace trace
+
+#endif // IDIO_TRACE_EVENTS_HH

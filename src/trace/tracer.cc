@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tracer implementation (cold paths).
+ */
+
+#include "tracer.hh"
+
+namespace trace
+{
+
+namespace
+{
+
+std::size_t
+roundUpPow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // anonymous namespace
+
+Source
+Tracer::registerSource(const std::string &name)
+{
+    const auto tid = static_cast<std::uint32_t>(bufs.size());
+    bufs.push_back(std::make_unique<RingBuffer>(tid, name));
+    RingBuffer *buf = bufs.back().get();
+    if (on)
+        buf->allocate(cap);
+    return Source(this, buf);
+}
+
+void
+Tracer::setCapacity(std::size_t eventsPerSource)
+{
+    cap = roundUpPow2(eventsPerSource < 8 ? 8 : eventsPerSource);
+}
+
+void
+Tracer::enable()
+{
+    on = true;
+    for (auto &b : bufs)
+        b->allocate(cap);
+}
+
+std::uint64_t
+Tracer::count(EventKind kind) const
+{
+    std::uint64_t n = 0;
+    for (const auto &b : bufs) {
+        b->forEach([&](const Event &ev) {
+            if (ev.kind == kind)
+                ++n;
+        });
+    }
+    return n;
+}
+
+std::uint64_t
+Tracer::totalDropped() const
+{
+    std::uint64_t n = 0;
+    for (const auto &b : bufs)
+        n += b->dropped();
+    return n;
+}
+
+std::size_t
+Tracer::allocatedBytes() const
+{
+    std::size_t n = 0;
+    for (const auto &b : bufs)
+        n += b->capacityBytes();
+    return n;
+}
+
+} // namespace trace

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Chrome trace-event exporter tests: the emitted text must be
+ * well-formed JSON (checked with a small recursive-descent parser),
+ * carry the expected phases, and preserve tick-accurate timestamps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "trace/chrome_export.hh"
+#include "trace/tracer.hh"
+
+namespace
+{
+
+/**
+ * Minimal JSON parser: accepts exactly the RFC 8259 grammar (no
+ * extensions), returns false on any syntax error. Values are not
+ * materialised — this is a validator, not a reader.
+ */
+class JsonValidator
+{
+  public:
+    explicit JsonValidator(const std::string &text) : s(text) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos == s.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos >= s.size())
+            return false;
+        switch (s[pos]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos; // '{'
+        skipWs();
+        if (peek() == '}') { ++pos; return true; }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') { ++pos; continue; }
+            if (peek() == '}') { ++pos; return true; }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos; // '['
+        skipWs();
+        if (peek() == ']') { ++pos; return true; }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') { ++pos; continue; }
+            if (peek() == ']') { ++pos; return true; }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos;
+        while (pos < s.size() && s[pos] != '"') {
+            if (s[pos] == '\\') {
+                ++pos;
+                if (pos >= s.size())
+                    return false;
+                const char c = s[pos];
+                if (c == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos;
+                        if (pos >= s.size() ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(s[pos])))
+                            return false;
+                    }
+                } else if (!strchr("\"\\/bfnrt", c)) {
+                    return false;
+                }
+            } else if (static_cast<unsigned char>(s[pos]) < 0x20) {
+                return false;
+            }
+            ++pos;
+        }
+        if (pos >= s.size())
+            return false;
+        ++pos; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        if (!digits())
+            return false;
+        if (peek() == '.') {
+            ++pos;
+            if (!digits())
+                return false;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos;
+            if (peek() == '+' || peek() == '-')
+                ++pos;
+            if (!digits())
+                return false;
+        }
+        return pos > start;
+    }
+
+    bool
+    digits()
+    {
+        const std::size_t start = pos;
+        while (pos < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[pos])))
+            ++pos;
+        return pos > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::strlen(word);
+        if (s.compare(pos, n, word) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    char peek() const { return pos < s.size() ? s[pos] : '\0'; }
+
+    const std::string &s;
+    std::size_t pos = 0;
+};
+
+std::string
+exportTrace(const trace::Tracer &tracer)
+{
+    std::ostringstream os;
+    trace::writeChromeTrace(os, tracer);
+    return os.str();
+}
+
+TEST(ChromeExport, EmptyTraceIsValidJson)
+{
+    trace::Tracer tracer;
+    const std::string out = exportTrace(tracer);
+    EXPECT_TRUE(JsonValidator(out).valid()) << out;
+    EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(ChromeExport, AllPhasesAreValidJson)
+{
+    trace::Tracer tracer;
+    trace::Source nic = tracer.registerSource("system.nic");
+    trace::Source nf = tracer.registerSource("system.nf0");
+    tracer.setCapacity(16);
+    tracer.enable();
+
+    nic.instant(trace::EventKind::NicRx, 1000000, 1, 46, 1514);
+    nic.complete(trace::EventKind::NicDmaPayload, 2000000, 48000, 1,
+                 24, 0xdeadbf00);
+    nf.complete(trace::EventKind::NfConsume, 3000000, 404000, 1, 0,
+                1514);
+    nf.counter(trace::EventKind::DpdkRingBacklog, 3500000, 7);
+
+    const std::string out = exportTrace(tracer);
+    EXPECT_TRUE(JsonValidator(out).valid()) << out;
+
+    // One thread-name metadata record per source.
+    EXPECT_NE(out.find("\"system.nic\""), std::string::npos);
+    EXPECT_NE(out.find("\"system.nf0\""), std::string::npos);
+    // Phases.
+    EXPECT_NE(out.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"C\""), std::string::npos);
+    // The counter value lands in args.value.
+    EXPECT_NE(out.find("\"value\":7"), std::string::npos);
+    // Correlation id is threaded through args.pkt.
+    EXPECT_NE(out.find("\"pkt\":1"), std::string::npos);
+    // Source metadata for truncation detection.
+    EXPECT_NE(out.find("\"dropped\":0"), std::string::npos);
+}
+
+TEST(ChromeExport, TimestampsAreFixedPointMicroseconds)
+{
+    // 1 tick = 1 ps; 2.5 us = 2,500,000 ticks.
+    EXPECT_EQ(trace::ticksToUsString(2500000), "2.500000");
+    EXPECT_EQ(trace::ticksToUsString(0), "0.000000");
+    EXPECT_EQ(trace::ticksToUsString(1), "0.000001");
+    // Seconds-range timestamps keep full tick precision (beyond
+    // double's 15.9 significant digits).
+    EXPECT_EQ(trace::ticksToUsString(123456789012345678ull),
+              "123456789012.345678");
+}
+
+TEST(ChromeExport, WriteToUnopenablePathFails)
+{
+    trace::Tracer tracer;
+    EXPECT_FALSE(
+        trace::writeChromeTrace("/nonexistent-dir/x.json", tracer));
+}
+
+} // anonymous namespace

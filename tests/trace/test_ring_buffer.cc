@@ -1,0 +1,109 @@
+/**
+ * @file
+ * RingBuffer unit tests: wraparound, drop accounting, visit order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/tracer.hh"
+
+namespace
+{
+
+trace::Event
+eventAt(sim::Tick ts)
+{
+    trace::Event ev;
+    ev.ts = ts;
+    ev.kind = trace::EventKind::NicRx;
+    return ev;
+}
+
+std::vector<sim::Tick>
+timestamps(const trace::RingBuffer &ring)
+{
+    std::vector<sim::Tick> ts;
+    ring.forEach([&](const trace::Event &ev) { ts.push_back(ev.ts); });
+    return ts;
+}
+
+TEST(RingBuffer, RecordBelowCapacity)
+{
+    trace::RingBuffer ring(0, "src");
+    ring.allocate(8);
+
+    for (sim::Tick t = 0; t < 5; ++t)
+        ring.record(eventAt(t));
+
+    EXPECT_EQ(ring.recorded(), 5u);
+    EXPECT_EQ(ring.dropped(), 0u);
+    EXPECT_EQ(ring.retained(), 5u);
+    EXPECT_EQ(timestamps(ring),
+              (std::vector<sim::Tick>{0, 1, 2, 3, 4}));
+}
+
+TEST(RingBuffer, WraparoundOverwritesOldest)
+{
+    trace::RingBuffer ring(0, "src");
+    ring.allocate(8);
+
+    for (sim::Tick t = 0; t < 20; ++t)
+        ring.record(eventAt(t));
+
+    EXPECT_EQ(ring.recorded(), 20u);
+    EXPECT_EQ(ring.dropped(), 12u);
+    EXPECT_EQ(ring.retained(), 8u);
+    // Oldest-first visit of the survivors: 12..19.
+    EXPECT_EQ(timestamps(ring),
+              (std::vector<sim::Tick>{12, 13, 14, 15, 16, 17, 18,
+                                      19}));
+}
+
+TEST(RingBuffer, ExactCapacityBoundary)
+{
+    trace::RingBuffer ring(0, "src");
+    ring.allocate(4);
+
+    for (sim::Tick t = 0; t < 4; ++t)
+        ring.record(eventAt(t));
+    EXPECT_EQ(ring.dropped(), 0u);
+    EXPECT_EQ(ring.retained(), 4u);
+
+    ring.record(eventAt(4));
+    EXPECT_EQ(ring.dropped(), 1u);
+    EXPECT_EQ(ring.retained(), 4u);
+    EXPECT_EQ(timestamps(ring), (std::vector<sim::Tick>{1, 2, 3, 4}));
+}
+
+TEST(RingBuffer, UnallocatedRecordIsDroppedSilently)
+{
+    trace::RingBuffer ring(0, "src");
+    ring.record(eventAt(1));
+    EXPECT_EQ(ring.recorded(), 0u);
+    EXPECT_EQ(ring.retained(), 0u);
+    EXPECT_FALSE(ring.allocated());
+    EXPECT_EQ(ring.capacityBytes(), 0u);
+}
+
+TEST(RingBuffer, AllocateIsIdempotent)
+{
+    trace::RingBuffer ring(0, "src");
+    ring.allocate(8);
+    for (sim::Tick t = 0; t < 3; ++t)
+        ring.record(eventAt(t));
+
+    ring.allocate(64); // must not clear or resize an existing ring
+    EXPECT_EQ(ring.capacityBytes(), 8 * sizeof(trace::Event));
+    EXPECT_EQ(ring.retained(), 3u);
+}
+
+TEST(RingBuffer, IdentityAccessors)
+{
+    trace::RingBuffer ring(7, "system.nf0.nic");
+    EXPECT_EQ(ring.tid(), 7u);
+    EXPECT_EQ(ring.name(), "system.nf0.nic");
+}
+
+} // anonymous namespace

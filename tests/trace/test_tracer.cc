@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tracer tests: the disabled path must cost nothing (no ring
+ * allocation, no recorded events), the enabled path must record and
+ * aggregate, and packet ids must be stable run properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/tracer.hh"
+
+namespace
+{
+
+using trace::EventKind;
+
+TEST(Tracer, DisabledModeRecordsNothingAndAllocatesNothing)
+{
+    trace::Tracer tracer;
+    trace::Source src = tracer.registerSource("nic");
+
+    EXPECT_FALSE(tracer.enabled());
+    EXPECT_FALSE(src.enabled());
+
+    // The instrumentation macros must be no-ops while disabled —
+    // whether compiled out (IDIO_TRACE=0) or runtime-gated.
+    IDIO_TRACE_INSTANT(src, EventKind::NicRx, 10, 1, 2, 3);
+    IDIO_TRACE_COMPLETE(src, EventKind::NfConsume, 10, 5, 1, 0, 0);
+    IDIO_TRACE_COUNTER(src, EventKind::DpdkRingBacklog, 10, 4, 0);
+
+    EXPECT_EQ(tracer.allocatedBytes(), 0u);
+    EXPECT_EQ(tracer.count(EventKind::NicRx), 0u);
+    for (const auto &buf : tracer.sources()) {
+        EXPECT_EQ(buf->recorded(), 0u);
+        EXPECT_FALSE(buf->allocated());
+    }
+}
+
+TEST(Tracer, DefaultConstructedSourceIsInert)
+{
+    trace::Source src;
+    EXPECT_FALSE(src.enabled());
+    // Must not crash (the macro guard short-circuits on enabled()).
+    IDIO_TRACE_INSTANT(src, EventKind::NicRx, 1, 0, 0, 0);
+}
+
+TEST(Tracer, EnableAllocatesRegisteredSources)
+{
+    trace::Tracer tracer;
+    trace::Source a = tracer.registerSource("a");
+    tracer.setCapacity(100); // rounds up to 128
+    tracer.enable();
+
+    EXPECT_TRUE(tracer.enabled());
+    EXPECT_TRUE(a.enabled());
+    ASSERT_EQ(tracer.sources().size(), 1u);
+    EXPECT_EQ(tracer.sources()[0]->capacityBytes(),
+              128 * sizeof(trace::Event));
+    EXPECT_EQ(tracer.allocatedBytes(),
+              128 * sizeof(trace::Event));
+}
+
+TEST(Tracer, RegistrationAfterEnableAllocatesImmediately)
+{
+    trace::Tracer tracer;
+    tracer.setCapacity(8);
+    tracer.enable();
+    trace::Source late = tracer.registerSource("late");
+
+    late.instant(EventKind::NicRx, 5, 1, 0, 0);
+    EXPECT_EQ(tracer.count(EventKind::NicRx), 1u);
+}
+
+TEST(Tracer, RecordAndCountAcrossSources)
+{
+    trace::Tracer tracer;
+    trace::Source nic = tracer.registerSource("nic");
+    trace::Source cache = tracer.registerSource("cache");
+    tracer.setCapacity(16);
+    tracer.enable();
+
+    nic.instant(EventKind::NicRx, 1, 1, 0, 0);
+    nic.instant(EventKind::NicRx, 2, 2, 0, 0);
+    cache.instant(EventKind::CacheDdioAlloc, 3, 0, 0, 0x40);
+    cache.counter(EventKind::DpdkRingBacklog, 4, 9);
+
+    EXPECT_EQ(tracer.count(EventKind::NicRx), 2u);
+    EXPECT_EQ(tracer.count(EventKind::CacheDdioAlloc), 1u);
+    EXPECT_EQ(tracer.count(EventKind::DpdkRingBacklog), 1u);
+    EXPECT_EQ(tracer.count(EventKind::NicDrop), 0u);
+    EXPECT_EQ(tracer.totalDropped(), 0u);
+}
+
+TEST(Tracer, DisableStopsRecordingButKeepsEvents)
+{
+    trace::Tracer tracer;
+    trace::Source src = tracer.registerSource("src");
+    tracer.setCapacity(8);
+    tracer.enable();
+
+    src.instant(EventKind::NicRx, 1, 1, 0, 0);
+    tracer.disable();
+    EXPECT_FALSE(src.enabled());
+    IDIO_TRACE_INSTANT(src, EventKind::NicRx, 2, 2, 0, 0);
+
+    EXPECT_EQ(tracer.count(EventKind::NicRx), 1u);
+}
+
+TEST(Tracer, TotalDroppedAggregatesWraparound)
+{
+    trace::Tracer tracer;
+    trace::Source src = tracer.registerSource("src");
+    tracer.setCapacity(8);
+    tracer.enable();
+
+    for (sim::Tick t = 0; t < 20; ++t)
+        src.instant(EventKind::NicRx, t, 0, 0, 0);
+    EXPECT_EQ(tracer.totalDropped(), 12u);
+    EXPECT_EQ(tracer.count(EventKind::NicRx), 8u);
+}
+
+TEST(Tracer, PacketIdsAreSequentialAndIndependentOfEnablement)
+{
+    trace::Tracer tracer;
+    // Ids must be handed out while tracing is disabled too, so a
+    // packet's id does not depend on whether anyone is watching.
+    EXPECT_EQ(tracer.newPacketId(), 1u);
+    EXPECT_EQ(tracer.newPacketId(), 2u);
+    tracer.enable();
+    EXPECT_EQ(tracer.newPacketId(), 3u);
+}
+
+#if IDIO_TRACE
+TEST(Tracer, MacrosRecordWhenCompiledInAndEnabled)
+{
+    trace::Tracer tracer;
+    trace::Source src = tracer.registerSource("src");
+    tracer.setCapacity(8);
+    tracer.enable();
+
+    IDIO_TRACE_INSTANT(src, EventKind::NicRx, 7, 42, 1, 2);
+    IDIO_TRACE_COMPLETE(src, EventKind::NfConsume, 7, 3, 42, 0, 64);
+    IDIO_TRACE_COUNTER(src, EventKind::DpdkRingBacklog, 8, 5, 0);
+
+    EXPECT_EQ(tracer.count(EventKind::NicRx), 1u);
+    EXPECT_EQ(tracer.count(EventKind::NfConsume), 1u);
+    EXPECT_EQ(tracer.count(EventKind::DpdkRingBacklog), 1u);
+
+    bool sawRx = false;
+    tracer.sources()[0]->forEach([&](const trace::Event &ev) {
+        if (ev.kind != EventKind::NicRx)
+            return;
+        sawRx = true;
+        EXPECT_EQ(ev.ts, 7u);
+        EXPECT_EQ(ev.pktId, 42u);
+        EXPECT_EQ(ev.argA, 1u);
+        EXPECT_EQ(ev.argB, 2u);
+    });
+    EXPECT_TRUE(sawRx);
+}
+#endif // IDIO_TRACE
+
+TEST(EventTaxonomy, TablesCoverEveryKind)
+{
+    const auto n = static_cast<unsigned>(trace::EventKind::NumKinds);
+    for (unsigned i = 0; i < n; ++i) {
+        const auto kind = static_cast<trace::EventKind>(i);
+        EXPECT_NE(trace::eventName(kind), nullptr);
+        EXPECT_NE(trace::eventCategory(kind), nullptr);
+        // Phase must be one of the three Chrome phases.
+        const trace::Phase ph = trace::eventPhase(kind);
+        EXPECT_TRUE(ph == trace::Phase::Instant ||
+                    ph == trace::Phase::Complete ||
+                    ph == trace::Phase::Counter);
+    }
+}
+
+} // anonymous namespace

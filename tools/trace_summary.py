@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Aggregate an IDIO packet-lifecycle trace into summary tables.
+
+Input is the Chrome trace-event JSON written by ``--trace=FILE``
+(benches / examples) or ``trace::writeChromeTrace``. The tool prints
+
+  * a placement-outcome table: how many inbound DMA cachelines went
+    down each path (DDIO update / DDIO allocate / MLC prefetch /
+    DRAM direct) and how many lines left the hierarchy as dead LLC
+    writebacks vs. self-invalidations;
+  * lifecycle counts (packets received / dropped / consumed);
+  * per-stage latency percentiles derived by correlating events that
+    share one packet id (DMA, ring-wait, NF processing, total).
+
+With ``--check-totals SIDECAR`` (the ``FILE.totals.json`` written
+alongside every ``--trace`` run) the tool additionally asserts that
+every trace-derived count exactly matches the simulator's own
+``harness::Totals`` counters and exits non-zero on any mismatch —
+the CI trace smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter, defaultdict
+
+
+def percentile(sorted_vals: list[float], p: float) -> float:
+    """Nearest-rank percentile of an ascending list."""
+    if not sorted_vals:
+        return 0.0
+    rank = max(0, min(len(sorted_vals) - 1,
+                      int(round(p / 100.0 * len(sorted_vals))) - 1))
+    return sorted_vals[rank]
+
+
+def load_trace(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def event_counts(trace: dict) -> Counter:
+    counts: Counter = Counter()
+    for ev in trace.get("traceEvents", []):
+        if ev.get("ph") in ("i", "X", "C"):
+            counts[ev["name"]] += 1
+    return counts
+
+
+def stage_latencies(trace: dict) -> dict[str, list[float]]:
+    """Per-packet stage latencies in microseconds, keyed by stage."""
+    # pkt id -> {event name -> (ts, dur)}; keep the first occurrence
+    # (ids are unique per packet, names unique per stage).
+    per_pkt: dict[int, dict[str, tuple[float, float]]] = \
+        defaultdict(dict)
+    for ev in trace.get("traceEvents", []):
+        pkt = ev.get("args", {}).get("pkt")
+        if not pkt:
+            continue
+        name = ev["name"]
+        if name not in per_pkt[pkt]:
+            per_pkt[pkt][name] = (float(ev["ts"]),
+                                  float(ev.get("dur", 0.0)))
+
+    stages: dict[str, list[float]] = defaultdict(list)
+    for events in per_pkt.values():
+        if "nic.rx" not in events:
+            continue
+        rx_ts = events["nic.rx"][0]
+        if "nic.dmaPayload" in events:
+            ts, dur = events["nic.dmaPayload"]
+            stages["dma (rx -> payload landed)"].append(
+                ts + dur - rx_ts)
+        if "nic.descWb" in events and "nf.consume" in events:
+            stages["ring wait (descWb -> consume)"].append(
+                events["nf.consume"][0] - events["nic.descWb"][0])
+        if "nf.consume" in events:
+            ts, dur = events["nf.consume"]
+            stages["nf processing (consume span)"].append(dur)
+            stages["total (rx -> consumed)"].append(ts + dur - rx_ts)
+    return stages
+
+
+PLACEMENT_ROWS = [
+    ("DDIO in-place update", "cache.ddioUpdate"),
+    ("DDIO way allocation", "cache.ddioAlloc"),
+    ("MLC prefetch fill", "cache.mlcPrefetchFill"),
+    ("DRAM direct (M3)", "cache.dramDirect"),
+    ("MLC demand fill", "cache.mlcFill"),
+    ("MLC eviction (MLC->LLC)", "cache.mlcEvict"),
+    ("PCIe invalidation", "cache.pcieInval"),
+    ("self-invalidation (M1)", "cache.selfInval"),
+    ("dead writeback (LLC->DRAM)", "cache.llcWb"),
+]
+
+LIFECYCLE_ROWS = [
+    ("packets received", "nic.rx"),
+    ("packets dropped (ring full)", "nic.drop"),
+    ("classifier decisions", "nic.classify"),
+    ("payload DMA spans", "nic.dmaPayload"),
+    ("descriptor writebacks", "nic.descWb"),
+    ("IDIO header hints", "idio.hintHeader"),
+    ("IDIO payload hints", "idio.hintPayload"),
+    ("IDIO direct-DRAM steers", "idio.directDram"),
+    ("mbuf allocs (re-arm)", "dpdk.alloc"),
+    ("mbuf frees", "dpdk.free"),
+    ("packets consumed by NF", "nf.consume"),
+]
+
+# sidecar field -> trace event name whose count must match exactly
+CHECKS = [
+    ("rxPackets", "nic.rx"),
+    ("rxDrops", "nic.drop"),
+    ("processedPackets", "nf.consume"),
+    ("mlcWritebacks", "cache.mlcEvict"),
+    ("mlcPcieInvals", "cache.pcieInval"),
+    ("llcWritebacks", "cache.llcWb"),
+    ("ddioUpdates", "cache.ddioUpdate"),
+    ("ddioAllocs", "cache.ddioAlloc"),
+    ("directDramWrites", "cache.dramDirect"),
+    ("mlcPrefetchFills", "cache.mlcPrefetchFill"),
+    ("mlcSelfInvals", "cache.selfInval"),
+]
+
+
+def print_table(title: str, rows: list[tuple[str, str]]) -> None:
+    print(f"\n{title}")
+    width = max(len(r[0]) for r in rows)
+    for label, value in rows:
+        print(f"  {label:<{width}}  {value}")
+
+
+def check_totals(counts: Counter, sidecar_path: str,
+                 dropped: int) -> int:
+    with open(sidecar_path) as fh:
+        totals = json.load(fh)
+
+    failures = 0
+    if dropped:
+        print(f"FAIL ring truncation: {dropped} events were "
+              "overwritten; counts cannot be cross-checked "
+              "(raise the ring capacity or shorten the run)")
+        failures += 1
+
+    for field, name in CHECKS:
+        if field not in totals:
+            continue
+        want = totals[field]
+        got = counts.get(name, 0)
+        status = "ok  " if got == want else "FAIL"
+        if got != want:
+            failures += 1
+        print(f"{status} {name:<24} trace={got:<10} "
+              f"totals.{field}={want}")
+
+    # Every inbound DMA line takes exactly one placement path.
+    if "pcieWrites" in totals:
+        placed = (counts.get("cache.ddioUpdate", 0) +
+                  counts.get("cache.ddioAlloc", 0) +
+                  counts.get("cache.dramDirect", 0))
+        want = totals["pcieWrites"]
+        status = "ok  " if placed == want else "FAIL"
+        if placed != want:
+            failures += 1
+        print(f"{status} {'placement sum':<24} trace={placed:<10} "
+              f"totals.pcieWrites={want}")
+    return failures
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("trace", help="Chrome trace-event JSON "
+                    "(from --trace=FILE)")
+    ap.add_argument("--check-totals", metavar="SIDECAR",
+                    help="assert trace counts match the "
+                    "FILE.totals.json sidecar; exit 1 on mismatch")
+    args = ap.parse_args()
+
+    trace = load_trace(args.trace)
+    counts = event_counts(trace)
+
+    sources = trace.get("idio", {}).get("sources", [])
+    dropped = sum(s.get("dropped", 0) for s in sources)
+    recorded = sum(s.get("recorded", 0) for s in sources)
+
+    print(f"{args.trace}: {recorded} events from "
+          f"{len(sources)} sources"
+          + (f" ({dropped} LOST to ring wraparound)" if dropped
+             else ""))
+
+    print_table("Placement outcomes (inbound DMA cachelines)",
+                [(label, str(counts.get(name, 0)))
+                 for label, name in PLACEMENT_ROWS])
+    print_table("Packet lifecycle",
+                [(label, str(counts.get(name, 0)))
+                 for label, name in LIFECYCLE_ROWS])
+
+    stages = stage_latencies(trace)
+    if stages:
+        rows = []
+        for stage, vals in stages.items():
+            vals.sort()
+            rows.append((stage,
+                         f"n={len(vals):<7} "
+                         f"p50={percentile(vals, 50):8.3f}us  "
+                         f"p90={percentile(vals, 90):8.3f}us  "
+                         f"p99={percentile(vals, 99):8.3f}us  "
+                         f"max={vals[-1]:8.3f}us"))
+        print_table("Per-stage latency (per packet id)", rows)
+
+    if args.check_totals:
+        print()
+        failures = check_totals(counts, args.check_totals, dropped)
+        if failures:
+            print(f"\n{failures} cross-check(s) FAILED")
+            return 1
+        print("\nall trace counts match harness::Totals")
+    elif dropped:
+        print("\nwarning: ring truncation — aggregate counts "
+              "undercount the run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
