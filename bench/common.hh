@@ -15,10 +15,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <optional>
 #include <string>
 
+#include "ckpt/checkpoint.hh"
 #include "harness/sweep.hh"
 #include "harness/system.hh"
 #include "harness/trace_artifacts.hh"
@@ -42,12 +44,29 @@ namespace bench
  *               FILE.totals.json sidecar with the run's
  *               harness::Totals for tools/trace_summary.py
  *               cross-checking.
+ *   --seed=N    override ExperimentConfig::seed for every sweep case.
+ *               The seed is recorded in checkpoint headers; restoring
+ *               under a different seed is fatal.
+ *   --checkpoint=FILE during the FIRST sweep case, save a checkpoint
+ *               at the 20 us mark (plus a FILE.meta sidecar with the
+ *               measurement-loop state). The measured results are
+ *               unchanged — saving only reads simulator state.
+ *   --restore=FILE start the FIRST sweep case from FILE instead of
+ *               cold; the rest of the run is bit-identical to the
+ *               uninterrupted one.
+ *   --warm-start (benches that support it) run the shared warm-up
+ *               once, checkpoint in memory and fork each sweep case
+ *               from the restored state.
  */
 struct BenchOptions
 {
     unsigned jobs = 1;
     std::string jsonPath;
     std::string tracePath;
+    std::optional<std::uint64_t> seed;
+    std::string checkpointPath;
+    std::string restorePath;
+    bool warmStart = false;
 };
 
 inline BenchOptions
@@ -64,14 +83,31 @@ parseBenchOptions(int argc, char **argv)
             opts.jsonPath = arg.substr(7);
         } else if (arg.rfind("--trace=", 0) == 0) {
             opts.tracePath = arg.substr(8);
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            opts.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+        } else if (arg.rfind("--checkpoint=", 0) == 0) {
+            opts.checkpointPath = arg.substr(13);
+        } else if (arg.rfind("--restore=", 0) == 0) {
+            opts.restorePath = arg.substr(10);
+        } else if (arg == "--warm-start") {
+            opts.warmStart = true;
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: %s [--jobs=N] [--json=FILE] [--trace=FILE]\n"
+                "          [--seed=N] [--checkpoint=FILE] "
+                "[--restore=FILE] [--warm-start]\n"
                 "  --jobs=N    parallel sweep threads "
                 "(0 = all %u host threads; results identical)\n"
                 "  --json=FILE write measured rows as JSON\n"
                 "  --trace=FILE write a Perfetto-compatible event "
-                "trace of the first case\n",
+                "trace of the first case\n"
+                "  --seed=N    override the RNG seed of every case\n"
+                "  --checkpoint=FILE save the first case's state at "
+                "the 20 us mark\n"
+                "  --restore=FILE start the first case from FILE "
+                "(bit-identical resume)\n"
+                "  --warm-start fork sweep cases from one shared "
+                "warm-up (where supported)\n",
                 argv[0], harness::SweepRunner::hardwareJobs());
             std::exit(0);
         } else {
@@ -108,40 +144,150 @@ struct RunMetrics
     double antagonistTpa = 0.0;
 };
 
+/** Measurement-loop quantum shared by every single-burst run. */
+constexpr sim::Tick burstQuantum = 10 * sim::oneUs;
+
+/** Default checkpoint/warm-up tick: two quanta into the burst. */
+constexpr sim::Tick warmStartTick = 20 * sim::oneUs;
+
+/**
+ * A checkpoint plus the measurement-loop state that accompanies it,
+ * so a run resumed from it reports the same firstArrival (and hence
+ * execTime) as the uninterrupted run.
+ */
+struct WarmState
+{
+    std::vector<std::uint8_t> blob;
+    sim::Tick tick = 0;
+    sim::Tick firstArrival = 0;
+    bool sawFirst = false;
+};
+
+/** Write @p w to @p path plus a @p path.meta loop-state sidecar. */
+inline void
+saveWarmState(const std::string &path, const WarmState &w)
+{
+    std::ofstream ofs(path, std::ios::binary);
+    if (!ofs)
+        sim::fatal("cannot write checkpoint '%s'", path.c_str());
+    ofs.write(reinterpret_cast<const char *>(w.blob.data()),
+              static_cast<std::streamsize>(w.blob.size()));
+    if (!ofs)
+        sim::fatal("short write to checkpoint '%s'", path.c_str());
+
+    std::ofstream meta(path + ".meta");
+    if (!meta)
+        sim::fatal("cannot write checkpoint meta '%s.meta'",
+                   path.c_str());
+    meta << "firstArrival=" << w.firstArrival << "\n"
+         << "sawFirst=" << (w.sawFirst ? 1 : 0) << "\n";
+}
+
+/**
+ * Read a checkpoint (and its .meta sidecar when present) back. A
+ * missing sidecar leaves the loop state at defaults: the run still
+ * resumes correctly but re-measures firstArrival from resume time.
+ */
+inline WarmState
+loadWarmState(const std::string &path)
+{
+    WarmState w;
+    std::ifstream ifs(path, std::ios::binary);
+    if (!ifs)
+        sim::fatal("cannot read checkpoint '%s'", path.c_str());
+    w.blob.assign(std::istreambuf_iterator<char>(ifs),
+                  std::istreambuf_iterator<char>());
+
+    std::ifstream meta(path + ".meta");
+    std::string line;
+    while (meta && std::getline(meta, line)) {
+        if (line.rfind("firstArrival=", 0) == 0)
+            w.firstArrival =
+                std::strtoull(line.c_str() + 13, nullptr, 10);
+        else if (line.rfind("sawFirst=", 0) == 0)
+            w.sawFirst = line.size() > 9 && line[9] == '1';
+    }
+    return w;
+}
+
+/** Optional checkpoint/restore hooks for a single-burst run. */
+struct BurstRunOptions
+{
+    sim::Tick limit = 50 * sim::oneMs;
+    std::string tracePath;
+
+    /** Fork from this in-memory warm state instead of running cold. */
+    const WarmState *warm = nullptr;
+
+    /** Or restore from this checkpoint file (with .meta sidecar). */
+    std::string restorePath;
+
+    /** Save a checkpoint file once @p checkpointTick is reached. */
+    std::string checkpointPath;
+    sim::Tick checkpointTick = warmStartTick;
+};
+
 /**
  * Run one burst per NIC and measure burst processing time: the system
  * runs in small quanta until every delivered packet is processed (or
- * @p limit passes).
+ * the limit passes).
  *
- * With a non-empty @p tracePath the run records a packet-lifecycle
+ * With a non-empty tracePath the run records a packet-lifecycle
  * event trace and writes it (plus the totals sidecar) on completion.
+ *
+ * A run forked from a warm state (or restored from a file) continues
+ * the measurement loop from the checkpoint tick; because saving only
+ * reads simulator state and the checkpoint tick is a quantum
+ * multiple, the result is bit-identical to the uninterrupted run.
  */
 inline RunMetrics
 runSingleBurst(const harness::ExperimentConfig &config,
-               sim::Tick limit = 50 * sim::oneMs,
-               const std::string &tracePath = {})
+               const BurstRunOptions &opts)
 {
     harness::ExperimentConfig cfg = config;
     cfg.traffic = harness::TrafficKind::Bursty;
     cfg.burstPeriod = 10 * sim::oneSec; // effectively one burst
 
     harness::TestSystem sys(cfg);
-    if (!tracePath.empty())
+    if (!opts.tracePath.empty())
         harness::enableTracing(sys);
     sys.start();
+
+    RunMetrics m;
+    bool sawFirst = false;
+
+    WarmState fileState;
+    const WarmState *warm = opts.warm;
+    if (warm == nullptr && !opts.restorePath.empty()) {
+        fileState = loadWarmState(opts.restorePath);
+        warm = &fileState;
+    }
+    if (warm != nullptr) {
+        sys.restore(warm->blob);
+        sawFirst = warm->sawFirst;
+        m.firstArrival = warm->firstArrival;
+    }
 
     const std::uint64_t expected =
         std::uint64_t(cfg.effectiveBurstPackets()) * cfg.numNfs;
 
-    RunMetrics m;
-    const sim::Tick quantum = 10 * sim::oneUs;
-    bool sawFirst = false;
-    while (sys.simulation().now() < limit) {
-        sys.runFor(quantum);
+    bool saved = opts.checkpointPath.empty();
+    while (sys.simulation().now() < opts.limit) {
+        sys.runFor(burstQuantum);
         const auto t = sys.totals();
         if (!sawFirst && t.rxPackets > 0) {
             sawFirst = true;
-            m.firstArrival = sys.simulation().now() - quantum;
+            m.firstArrival = sys.simulation().now() - burstQuantum;
+        }
+        if (!saved &&
+            sys.simulation().now() >= opts.checkpointTick) {
+            saved = true;
+            WarmState w;
+            w.tick = sys.simulation().now();
+            w.firstArrival = m.firstArrival;
+            w.sawFirst = sawFirst;
+            w.blob = sys.checkpoint();
+            saveWarmState(opts.checkpointPath, w);
         }
         if (t.processedPackets + t.rxDrops >= expected &&
             t.rxPackets >= expected) {
@@ -160,9 +306,57 @@ runSingleBurst(const harness::ExperimentConfig &config,
     m.p99 = sys.nf(0).latency.p99();
     if (sys.antagonist())
         m.antagonistTpa = sys.antagonist()->ticksPerAccess();
-    if (!tracePath.empty())
-        harness::writeTraceArtifacts(tracePath, sys);
+    if (!opts.tracePath.empty())
+        harness::writeTraceArtifacts(opts.tracePath, sys);
     return m;
+}
+
+/** Cold single-burst run (the common case). */
+inline RunMetrics
+runSingleBurst(const harness::ExperimentConfig &config,
+               sim::Tick limit = 50 * sim::oneMs,
+               const std::string &tracePath = {})
+{
+    BurstRunOptions opts;
+    opts.limit = limit;
+    opts.tracePath = tracePath;
+    return runSingleBurst(config, opts);
+}
+
+/**
+ * Run the shared warm-up of a single-burst experiment under
+ * @p config and checkpoint in memory at @p warmTick (a quantum
+ * multiple strictly before the drain point). The returned state can
+ * fork any config that behaves identically to @p config up to
+ * @p warmTick — for a threshold sweep, any sibling whose decisions
+ * only diverge once the measured rates cross between thresholds.
+ */
+inline WarmState
+captureWarmState(const harness::ExperimentConfig &config,
+                 sim::Tick warmTick = warmStartTick)
+{
+    SIM_ASSERT(warmTick % burstQuantum == 0,
+               "warmTick must be a multiple of the burst quantum");
+
+    harness::ExperimentConfig cfg = config;
+    cfg.traffic = harness::TrafficKind::Bursty;
+    cfg.burstPeriod = 10 * sim::oneSec;
+
+    harness::TestSystem sys(cfg);
+    sys.start();
+
+    WarmState w;
+    while (sys.simulation().now() < warmTick) {
+        sys.runFor(burstQuantum);
+        const auto t = sys.totals();
+        if (!w.sawFirst && t.rxPackets > 0) {
+            w.sawFirst = true;
+            w.firstArrival = sys.simulation().now() - burstQuantum;
+        }
+    }
+    w.tick = sys.simulation().now();
+    w.blob = sys.checkpoint();
+    return w;
 }
 
 /**
@@ -211,6 +405,16 @@ struct SweepCase
     harness::ExperimentConfig cfg;
 };
 
+/** Honour --seed=N: override the seed of every sweep case. */
+inline void
+applySeed(std::vector<SweepCase> &cases, const BenchOptions &opts)
+{
+    if (!opts.seed)
+        return;
+    for (auto &c : cases)
+        c.cfg.seed = *opts.seed;
+}
+
 /**
  * Run every case through @p fn on @p jobs threads (SweepRunner) and
  * return metrics in case order.
@@ -231,6 +435,50 @@ runSweepSingleBurst(const std::vector<SweepCase> &cases, unsigned jobs)
 {
     return runSweep(cases, jobs, [](const harness::ExperimentConfig &c) {
         return runSingleBurst(c);
+    });
+}
+
+/**
+ * Single-burst sweep honouring the checkpoint/restore/seed options:
+ * --seed applies to every case (mutating them, so the caller's JSON
+ * rows echo the applied seed); --checkpoint / --restore act on the
+ * FIRST case (saving is observationally pure, so measured results
+ * are unchanged).
+ */
+inline std::vector<RunMetrics>
+runSweepSingleBurst(std::vector<SweepCase> &cases,
+                    const BenchOptions &opts)
+{
+    applySeed(cases, opts);
+    harness::SweepRunner runner(opts.jobs);
+    const SweepCase *first = cases.data();
+    return runner.map(cases, [&](const SweepCase &c) {
+        BurstRunOptions ro;
+        if (&c == first) {
+            ro.checkpointPath = opts.checkpointPath;
+            ro.restorePath = opts.restorePath;
+        }
+        return runSingleBurst(c.cfg, ro);
+    });
+}
+
+/**
+ * Warm-start fork sweep: every case resumes from @p warm (captured
+ * once with captureWarmState) and runs to completion, in parallel.
+ * For configs whose behaviour matches the warm-up config up to the
+ * warm tick, each result is bit-identical to a cold run of that case.
+ */
+inline std::vector<RunMetrics>
+runSweepWarmFork(const std::vector<SweepCase> &cases,
+                 const BenchOptions &opts, const WarmState &warm,
+                 sim::Tick limit = 50 * sim::oneMs)
+{
+    harness::SweepRunner runner(opts.jobs);
+    return runner.map(cases, [&](const SweepCase &c) {
+        BurstRunOptions ro;
+        ro.limit = limit;
+        ro.warm = &warm;
+        return runSingleBurst(c.cfg, ro);
     });
 }
 

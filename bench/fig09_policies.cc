@@ -63,7 +63,7 @@ main(int argc, char **argv)
         }
     }
 
-    const auto results = bench::runSweepSingleBurst(cases, opts.jobs);
+    const auto results = bench::runSweepSingleBurst(cases, opts);
     bench::JsonReport report(opts.jsonPath, "fig09", opts.jobs);
 
     std::size_t i = 0;

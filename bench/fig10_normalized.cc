@@ -69,7 +69,7 @@ main(int argc, char **argv)
         }
     }
 
-    const auto results = bench::runSweepSingleBurst(cases, opts.jobs);
+    const auto results = bench::runSweepSingleBurst(cases, opts);
     bench::JsonReport report(opts.jsonPath, "fig10", opts.jobs);
     for (std::size_t i = 0; i < cases.size(); ++i)
         report.row(cases[i], results[i]);

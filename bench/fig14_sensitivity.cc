@@ -47,7 +47,28 @@ main(int argc, char **argv)
                          fig14Config(idio::Policy::Idio, thr)});
     }
 
-    const auto results = bench::runSweepSingleBurst(cases, opts.jobs);
+    std::vector<bench::RunMetrics> results;
+    if (opts.warmStart) {
+        // The thr family shares one warm-up: the threshold only
+        // matters once the measured writeback rate falls between two
+        // swept values, which happens well after the burst head — so
+        // every fork is bit-identical to its cold run. The DDIO
+        // baseline is a different policy and runs cold.
+        bench::applySeed(cases, opts);
+        std::printf("# warm-start: thr family forked from one "
+                    "%llu us warm-up\n\n",
+                    (unsigned long long)sim::ticksToUs(
+                        bench::warmStartTick));
+        results.push_back(bench::runSingleBurst(cases[0].cfg));
+        const auto warm = bench::captureWarmState(cases[1].cfg);
+        const std::vector<bench::SweepCase> thrCases(
+            cases.begin() + 1, cases.end());
+        const auto forked =
+            bench::runSweepWarmFork(thrCases, opts, warm);
+        results.insert(results.end(), forked.begin(), forked.end());
+    } else {
+        results = bench::runSweepSingleBurst(cases, opts);
+    }
     bench::JsonReport report(opts.jsonPath, "fig14", opts.jobs);
     for (std::size_t i = 0; i < cases.size(); ++i)
         report.row(cases[i], results[i]);

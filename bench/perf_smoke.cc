@@ -194,7 +194,8 @@ main(int argc, char **argv)
                     m.nsPerOp(), m.opsPerSec());
     }
 
-    const auto cases = sweepCases();
+    auto cases = sweepCases();
+    bench::applySeed(cases, opts);
     std::printf("\nsweep: %zu fig10-style configs\n", cases.size());
 
     const auto serialStart = Clock::now();

@@ -14,6 +14,7 @@
 #include <iostream>
 #include <string>
 
+#include "ckpt/checkpoint.hh"
 #include "harness/system.hh"
 #include "harness/trace_artifacts.hh"
 #include "stats/table.hh"
@@ -28,8 +29,16 @@ struct RunResult
     std::uint64_t p99;
 };
 
+/**
+ * Run three burst periods under @p policy. With a checkpoint path the
+ * run saves its state to that file at the 10 ms mark and continues;
+ * with a restore path it starts from the saved state instead of cold.
+ * Either way the totals printed at 30 ms are bit-identical to an
+ * uninterrupted run.
+ */
 RunResult
-runPolicy(idio::Policy policy)
+runPolicy(idio::Policy policy, const std::string &checkpointPath = {},
+          const std::string &restorePath = {})
 {
     harness::ExperimentConfig cfg;
     cfg.numNfs = 2;
@@ -40,7 +49,19 @@ runPolicy(idio::Policy policy)
 
     harness::TestSystem system(cfg);
     system.start();
-    system.runFor(30 * sim::oneMs); // three burst periods
+
+    const sim::Tick duration = 30 * sim::oneMs; // three burst periods
+    if (!restorePath.empty()) {
+        ckpt::restoreFromFile(restorePath, system.simulation());
+        if (system.simulation().now() < duration)
+            system.runFor(duration - system.simulation().now());
+    } else if (!checkpointPath.empty()) {
+        system.runFor(10 * sim::oneMs);
+        ckpt::saveToFile(checkpointPath, system.simulation());
+        system.runFor(duration - system.simulation().now());
+    } else {
+        system.runFor(duration);
+    }
 
     RunResult r;
     r.totals = system.totals();
@@ -80,14 +101,25 @@ main(int argc, char **argv)
 {
     // --trace=FILE records a packet-lifecycle event trace of the
     // IDIO run (open FILE in Perfetto / chrome://tracing, or feed it
-    // to tools/trace_summary.py).
+    // to tools/trace_summary.py). --checkpoint=FILE saves the IDIO
+    // run's state at 10 ms (inspect with tools/ckpt_inspect.py);
+    // --restore=FILE resumes the IDIO run from such a file and prints
+    // the same table an uninterrupted run would.
     std::string tracePath;
+    std::string checkpointPath;
+    std::string restorePath;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--trace=", 0) == 0) {
             tracePath = arg.substr(8);
+        } else if (arg.rfind("--checkpoint=", 0) == 0) {
+            checkpointPath = arg.substr(13);
+        } else if (arg.rfind("--restore=", 0) == 0) {
+            restorePath = arg.substr(10);
         } else {
-            std::fprintf(stderr, "usage: %s [--trace=FILE]\n",
+            std::fprintf(stderr,
+                         "usage: %s [--trace=FILE] "
+                         "[--checkpoint=FILE] [--restore=FILE]\n",
                          argv[0]);
             return 2;
         }
@@ -97,7 +129,11 @@ main(int argc, char **argv)
                 "1514 B packets, 25 Gbps bursts\n\n");
 
     const RunResult ddio = runPolicy(idio::Policy::Ddio);
-    const RunResult idioRun = runPolicy(idio::Policy::Idio);
+    const RunResult idioRun =
+        runPolicy(idio::Policy::Idio, checkpointPath, restorePath);
+    if (!checkpointPath.empty())
+        std::printf("checkpoint written to %s\n\n",
+                    checkpointPath.c_str());
 
     stats::TablePrinter table({"metric", "DDIO", "IDIO", "change"});
     auto row = [&](const char *name, double base, double ours) {

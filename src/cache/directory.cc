@@ -90,4 +90,16 @@ MlcDirectory::removeAll(sim::Addr addr)
         array.invalidate(ref);
 }
 
+void
+MlcDirectory::serialize(ckpt::Serializer &s) const
+{
+    array.serialize(s);
+}
+
+void
+MlcDirectory::unserialize(ckpt::Deserializer &d)
+{
+    array.unserialize(d);
+}
+
 } // namespace cache

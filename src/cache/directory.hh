@@ -78,6 +78,9 @@ class MlcDirectory : public sim::SimObject
     /** Read-only tag-array access (invariant checker, tests). */
     const TagArray &tags() const { return array; }
 
+    void serialize(ckpt::Serializer &s) const override;
+    void unserialize(ckpt::Deserializer &d) override;
+
     /** @{ Counters. */
     stats::Counter lookups;
     stats::Counter insertions;

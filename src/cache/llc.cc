@@ -5,6 +5,7 @@
 
 #include "llc.hh"
 
+#include "ckpt/serializer.hh"
 #include "sim/simulation.hh"
 
 namespace cache
@@ -78,6 +79,22 @@ NonInclusiveLlc::bloatedIoOccupancy() const
         [this](const CacheLine &l, std::uint32_t way) {
             return l.io && way >= nDdioWays;
         });
+}
+
+void
+NonInclusiveLlc::serialize(ckpt::Serializer &s) const
+{
+    // The partition width is runtime-tunable (DdioWayTuner), so it is
+    // dynamic state even though it starts from the config.
+    s.writeU32(nDdioWays);
+    array.serialize(s);
+}
+
+void
+NonInclusiveLlc::unserialize(ckpt::Deserializer &d)
+{
+    nDdioWays = d.readU32();
+    array.unserialize(d);
 }
 
 } // namespace cache

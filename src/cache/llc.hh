@@ -74,6 +74,9 @@ class NonInclusiveLlc : public sim::SimObject
     /** Total valid lines. */
     std::uint64_t occupancy() const { return array.countValid(); }
 
+    void serialize(ckpt::Serializer &s) const override;
+    void unserialize(ckpt::Deserializer &d) override;
+
     /** @{ Counters. */
     stats::Counter hits;
     stats::Counter misses;

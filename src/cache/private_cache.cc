@@ -35,4 +35,16 @@ PrivateCache::PrivateCache(sim::Simulation &simulation,
 {
 }
 
+void
+PrivateCache::serialize(ckpt::Serializer &s) const
+{
+    array.serialize(s);
+}
+
+void
+PrivateCache::unserialize(ckpt::Deserializer &d)
+{
+    array.unserialize(d);
+}
+
 } // namespace cache

@@ -47,6 +47,9 @@ class PrivateCache : public sim::SimObject
         return array.peek(addr) != nullptr;
     }
 
+    void serialize(ckpt::Serializer &s) const override;
+    void unserialize(ckpt::Deserializer &d) override;
+
     /** @{ Event counters used by the figure harnesses. */
     stats::Counter hits;
     stats::Counter misses;

@@ -5,6 +5,7 @@
 
 #include "replacement.hh"
 
+#include "ckpt/serializer.hh"
 #include "sim/logging.hh"
 
 namespace cache
@@ -78,6 +79,58 @@ SrripPolicy::victim(std::uint32_t set, WayMask candidates)
                 ++rrpv[std::size_t(set) * assoc + w];
         }
     }
+}
+
+void
+LruPolicy::serialize(ckpt::Serializer &s) const
+{
+    s.writeU64(clock);
+    s.writePodVec(stamps);
+}
+
+void
+LruPolicy::unserialize(ckpt::Deserializer &d)
+{
+    clock = d.readU64();
+    const auto restored = d.readPodVec<std::uint64_t>();
+    if (restored.size() != stamps.size())
+        sim::fatal("ckpt: LRU stamp count mismatch (checkpoint %zu, "
+                   "array %zu)",
+                   restored.size(), stamps.size());
+    stamps = restored;
+}
+
+void
+RandomPolicy::serialize(ckpt::Serializer &s) const
+{
+    for (const std::uint64_t w : rng.state())
+        s.writeU64(w);
+}
+
+void
+RandomPolicy::unserialize(ckpt::Deserializer &d)
+{
+    std::array<std::uint64_t, 4> st;
+    for (std::uint64_t &w : st)
+        w = d.readU64();
+    rng.setState(st);
+}
+
+void
+SrripPolicy::serialize(ckpt::Serializer &s) const
+{
+    s.writePodVec(rrpv);
+}
+
+void
+SrripPolicy::unserialize(ckpt::Deserializer &d)
+{
+    const auto restored = d.readPodVec<std::uint8_t>();
+    if (restored.size() != rrpv.size())
+        sim::fatal("ckpt: SRRIP rrpv count mismatch (checkpoint %zu, "
+                   "array %zu)",
+                   restored.size(), rrpv.size());
+    rrpv = restored;
 }
 
 std::unique_ptr<ReplacementPolicy>

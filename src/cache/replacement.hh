@@ -20,6 +20,12 @@
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 
+namespace ckpt
+{
+class Serializer;
+class Deserializer;
+}
+
 namespace cache
 {
 
@@ -84,6 +90,11 @@ class ReplacementPolicy
 
     /** Policy name for configuration echo. */
     virtual std::string name() const = 0;
+
+    /** @{ Checkpoint the policy's dynamic state (default: none). */
+    virtual void serialize(ckpt::Serializer &) const {}
+    virtual void unserialize(ckpt::Deserializer &) {}
+    /** @} */
 };
 
 /**
@@ -135,6 +146,9 @@ class LruPolicy : public ReplacementPolicy
     }
     /** @} */
 
+    void serialize(ckpt::Serializer &s) const override;
+    void unserialize(ckpt::Deserializer &d) override;
+
   private:
     std::uint32_t assoc = 0;
     std::uint64_t clock = 0;
@@ -154,6 +168,9 @@ class RandomPolicy : public ReplacementPolicy
     void touch(std::uint32_t, std::uint32_t) override {}
     std::uint32_t victim(std::uint32_t set, WayMask candidates) override;
     std::string name() const override { return "random"; }
+
+    void serialize(ckpt::Serializer &s) const override;
+    void unserialize(ckpt::Deserializer &d) override;
 
   private:
     sim::Rng rng;
@@ -178,6 +195,9 @@ class SrripPolicy : public ReplacementPolicy
     void fill(std::uint32_t set, std::uint32_t way) override;
     std::uint32_t victim(std::uint32_t set, WayMask candidates) override;
     std::string name() const override { return "srrip"; }
+
+    void serialize(ckpt::Serializer &s) const override;
+    void unserialize(ckpt::Deserializer &d) override;
 
   private:
     std::uint32_t maxRrpv;

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 
+#include "ckpt/serializer.hh"
+
 namespace cache
 {
 
@@ -115,6 +117,59 @@ TagArray::clear()
         l = CacheLine{};
     std::fill(tags.begin(), tags.end(), invalidTag);
     std::fill(freeWays.begin(), freeWays.end(), lowWays(nWays));
+}
+
+void
+TagArray::serialize(ckpt::Serializer &s) const
+{
+    // Field by field: CacheLine has padding between the flag bytes and
+    // the sharers word, and padding must never reach a checkpoint.
+    s.writeU32(nSets);
+    s.writeU32(nWays);
+    for (const CacheLine &l : lines) {
+        s.writeU64(l.addr);
+        s.writeBool(l.valid);
+        s.writeBool(l.dirty);
+        s.writeBool(l.io);
+        s.writeBool(l.prefetched);
+        s.writeBool(l.ddioAlloc);
+        s.writeU64(l.sharers);
+    }
+    policy->serialize(s);
+}
+
+void
+TagArray::unserialize(ckpt::Deserializer &d)
+{
+    const std::uint32_t sets = d.readU32();
+    const std::uint32_t ways = d.readU32();
+    if (sets != nSets || ways != nWays) {
+        sim::fatal("ckpt: tag-array geometry mismatch (checkpoint "
+                   "%ux%u, config %ux%u)",
+                   sets, ways, nSets, nWays);
+    }
+    for (CacheLine &l : lines) {
+        l.addr = d.readU64();
+        l.valid = d.readBool();
+        l.dirty = d.readBool();
+        l.io = d.readBool();
+        l.prefetched = d.readBool();
+        l.ddioAlloc = d.readBool();
+        l.sharers = d.readU64();
+    }
+    // Rebuild the derived lookup structures.
+    for (std::uint32_t set = 0; set < nSets; ++set) {
+        WayMask free = 0;
+        for (std::uint32_t w = 0; w < nWays; ++w) {
+            const CacheLine &l = lineAt(set, w);
+            tags[std::size_t(set) * nWays + w] =
+                l.valid ? l.addr : invalidTag;
+            if (!l.valid)
+                free |= WayMask(1) << w;
+        }
+        freeWays[set] = free;
+    }
+    policy->unserialize(d);
 }
 
 } // namespace cache

@@ -215,6 +215,15 @@ class TagArray
     /** The replacement policy (for tests). */
     ReplacementPolicy &replacementPolicy() { return *policy; }
 
+    /**
+     * @{ Checkpoint the array contents plus the policy state. The
+     * geometry is structural (rebuilt from config); unserialize
+     * validates it and recomputes the derived tag/free-way arrays.
+     */
+    void serialize(ckpt::Serializer &s) const;
+    void unserialize(ckpt::Deserializer &d);
+    /** @} */
+
   private:
     TagArray(std::uint32_t numSets, std::uint32_t assoc,
              std::unique_ptr<ReplacementPolicy> policy, int);

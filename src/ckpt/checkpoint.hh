@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Whole-simulation checkpoint save/restore orchestration.
+ *
+ * save() walks the Simulation's SimObject registry in registration
+ * order and writes one section per object, plus four reserved
+ * pseudo-sections:
+ *
+ *   _eventq  — tick, sequence counter, processed-event counters;
+ *   _rootRng — the root xoshiro256** state;
+ *   _stats   — every registered stat, keyed (group name, stat name);
+ *   _tracer  — packet-id counter plus each source's retained events.
+ *
+ * restore() expects a *started* system built from the same
+ * configuration: construction and start() rebuild all structural
+ * state (addresses, sizes, callbacks, observers), then restore
+ * overwrites the dynamic state — it drops every pending event that
+ * start() scheduled, replays the checkpointed pending set in original
+ * sequence order, and forces the time base last. A restored run is
+ * bit-identical to the uninterrupted one.
+ *
+ * Checkpoints must be taken between events (i.e.\ from harness code
+ * around runUntil()/runFor() boundaries), never from inside an event
+ * handler.
+ */
+
+#ifndef IDIO_CKPT_CHECKPOINT_HH
+#define IDIO_CKPT_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sim
+{
+class Simulation;
+}
+
+namespace ckpt
+{
+
+/** Serialize the full dynamic state of @p simulation into a blob. */
+std::vector<std::uint8_t> save(sim::Simulation &simulation);
+
+/** save() + write the blob to @p path (fatal on I/O error). */
+void saveToFile(const std::string &path, sim::Simulation &simulation);
+
+/**
+ * Restore @p blob into @p simulation (a freshly constructed and
+ * started system with the same configuration and seed). Fatal on any
+ * mismatch: seed, format version, missing/extra sections, checksum.
+ */
+void restore(sim::Simulation &simulation,
+             const std::vector<std::uint8_t> &blob);
+
+/** Read @p path and restore() it (fatal on I/O error). */
+void restoreFromFile(const std::string &path,
+                     sim::Simulation &simulation);
+
+} // namespace ckpt
+
+#endif // IDIO_CKPT_CHECKPOINT_HH

@@ -5,6 +5,7 @@
 
 #include "core.hh"
 
+#include "ckpt/serializer.hh"
 #include "sim/simulation.hh"
 
 namespace cpu
@@ -100,6 +101,20 @@ Core::doStep()
     ++steps;
     busyTicks += delay;
     eventq().scheduleIn(&stepEvent, delay);
+}
+
+void
+Core::serialize(ckpt::Serializer &s) const
+{
+    // The workload binding itself is re-created by the harness before
+    // restore; only the step schedule is dynamic.
+    ckpt::serializeEvent(s, stepEvent);
+}
+
+void
+Core::unserialize(ckpt::Deserializer &d)
+{
+    ckpt::unserializeEvent(d, &stepEvent);
 }
 
 void

@@ -101,6 +101,9 @@ class Core : public sim::SimObject
     stats::Counter busyTicks;
     /** @} */
 
+    void serialize(ckpt::Serializer &s) const override;
+    void unserialize(ckpt::Deserializer &d) override;
+
   private:
     class StepEvent : public sim::Event
     {

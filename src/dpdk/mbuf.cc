@@ -5,6 +5,8 @@
 
 #include "mbuf.hh"
 
+#include "ckpt/serializer.hh"
+
 namespace dpdk
 {
 
@@ -82,6 +84,47 @@ Mempool::freeListSlotAddr() const
 {
     const std::size_t pos = freeList.size();
     return freeListBase + std::uint64_t(pos) * 8;
+}
+
+void
+Mempool::serialize(ckpt::Serializer &s) const
+{
+    s.writeU32(capacity());
+    s.writeU64(freeList.size());
+    for (const std::uint32_t idx : freeList)
+        s.writeU32(idx);
+    s.writeBoolVec(inUse);
+    for (const Mbuf &m : bufs) {
+        s.writeU32(m.pktBytes);
+        net::serializePacket(s, m.pkt);
+    }
+    s.writeU64(allocCount);
+    s.writeU64(freeCount);
+    s.writeU64(allocFailures);
+}
+
+void
+Mempool::unserialize(ckpt::Deserializer &d)
+{
+    const std::uint32_t count = d.readU32();
+    if (count != capacity())
+        sim::fatal("ckpt: mempool size mismatch (checkpoint %u, "
+                   "config %u)",
+                   count, capacity());
+    freeList.clear();
+    const std::uint64_t nFree = d.readU64();
+    for (std::uint64_t i = 0; i < nFree; ++i)
+        freeList.push_back(d.readU32());
+    inUse = d.readBoolVec();
+    if (inUse.size() != bufs.size())
+        sim::fatal("ckpt: mempool in-use map size mismatch");
+    for (Mbuf &m : bufs) {
+        m.pktBytes = d.readU32();
+        m.pkt = net::unserializePacket(d);
+    }
+    allocCount = d.readU64();
+    freeCount = d.readU64();
+    allocFailures = d.readU64();
 }
 
 } // namespace dpdk

@@ -29,6 +29,12 @@
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
+namespace ckpt
+{
+class Serializer;
+class Deserializer;
+}
+
 namespace dpdk
 {
 
@@ -114,6 +120,15 @@ class Mempool
     std::uint64_t allocCount = 0;
     std::uint64_t freeCount = 0;
     std::uint64_t allocFailures = 0;
+    /** @} */
+
+    /**
+     * @{ Checkpoint the pool's dynamic state (free list, in-use map,
+     * per-buffer packet identity). The pool is not a SimObject; the
+     * owning network function embeds this in its own section.
+     */
+    void serialize(ckpt::Serializer &s) const;
+    void unserialize(ckpt::Deserializer &d);
     /** @} */
 
   private:

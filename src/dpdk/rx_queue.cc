@@ -5,6 +5,8 @@
 
 #include "rx_queue.hh"
 
+#include "ckpt/serializer.hh"
+
 namespace dpdk
 {
 
@@ -89,6 +91,20 @@ RxQueue::refill()
     if (armedAny)
         lat += tailUpdateCost; // posted MMIO tail write
     return lat;
+}
+
+void
+RxQueue::serialize(ckpt::Serializer &s) const
+{
+    s.writeU32(armNext);
+    s.writeU32(toRefill);
+}
+
+void
+RxQueue::unserialize(ckpt::Deserializer &d)
+{
+    armNext = d.readU32();
+    toRefill = d.readU32();
 }
 
 } // namespace dpdk

@@ -23,6 +23,12 @@
 #include "sim/types.hh"
 #include "trace/tracer.hh"
 
+namespace ckpt
+{
+class Serializer;
+class Deserializer;
+}
+
 namespace dpdk
 {
 
@@ -75,6 +81,14 @@ class RxQueue
 
     /** Descriptors waiting to be re-armed. */
     std::uint32_t pendingRefill() const { return toRefill; }
+
+    /**
+     * @{ Checkpoint the driver cursors (embedded in the owning NF's
+     * section; the queue is not a SimObject).
+     */
+    void serialize(ckpt::Serializer &s) const;
+    void unserialize(ckpt::Deserializer &d);
+    /** @} */
 
   private:
     cpu::Core &core;

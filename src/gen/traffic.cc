@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "ckpt/serializer.hh"
 #include "sim/simulation.hh"
 
 namespace gen
@@ -43,6 +44,45 @@ TrafficSource::TrafficSource(sim::Simulation &simulation,
 TrafficSource::~TrafficSource() = default;
 
 void
+TrafficSource::scheduleFireAt(sim::Tick when)
+{
+    pendingTick.active = true;
+    pendingTick.when = when;
+    pendingTick.seq = eventq().schedule(when, [this] {
+        pendingTick.active = false;
+        fire();
+    });
+}
+
+void
+TrafficSource::serialize(ckpt::Serializer &s) const
+{
+    s.writeU64(nextFlow);
+    s.writeU64(seq);
+    s.writeBool(pendingTick.active);
+    if (pendingTick.active) {
+        s.writeTick(pendingTick.when);
+        s.writeU64(pendingTick.seq);
+    }
+}
+
+void
+TrafficSource::unserialize(ckpt::Deserializer &d)
+{
+    nextFlow = static_cast<std::size_t>(d.readU64());
+    seq = d.readU64();
+    pendingTick.active = d.readBool();
+    if (pendingTick.active) {
+        pendingTick.when = d.readTick();
+        pendingTick.seq = d.readU64();
+        d.deferOneShot(pendingTick.seq, pendingTick.when, [this] {
+            pendingTick.active = false;
+            fire();
+        });
+    }
+}
+
+void
 TrafficSource::emitPacket()
 {
     const FlowSpec &spec = cfg.flows[nextFlow];
@@ -72,7 +112,7 @@ SteadyTrafficGen::SteadyTrafficGen(sim::Simulation &simulation,
 void
 SteadyTrafficGen::start()
 {
-    eventq().scheduleIn(interPacket, [this] { tick(); });
+    scheduleFireIn(interPacket);
 }
 
 void
@@ -81,7 +121,7 @@ SteadyTrafficGen::tick()
     if (stopped())
         return;
     emitPacket();
-    eventq().scheduleIn(interPacket, [this] { tick(); });
+    scheduleFireIn(interPacket);
 }
 
 BurstyTrafficGen::BurstyTrafficGen(sim::Simulation &simulation,
@@ -106,7 +146,7 @@ BurstyTrafficGen::start()
 {
     inBurstRemaining = burst.burstPackets;
     nextBurstStart = now() + burst.burstPeriod;
-    eventq().scheduleIn(interPacket, [this] { tick(); });
+    scheduleFireIn(interPacket);
 }
 
 void
@@ -117,7 +157,7 @@ BurstyTrafficGen::tick()
 
     emitPacket();
     if (--inBurstRemaining > 0) {
-        eventq().scheduleIn(interPacket, [this] { tick(); });
+        scheduleFireIn(interPacket);
         return;
     }
 
@@ -125,7 +165,23 @@ BurstyTrafficGen::tick()
     inBurstRemaining = burst.burstPackets;
     const sim::Tick startAt = std::max(nextBurstStart, now());
     nextBurstStart = startAt + burst.burstPeriod;
-    eventq().schedule(startAt, [this] { tick(); });
+    scheduleFireAt(startAt);
+}
+
+void
+BurstyTrafficGen::serialize(ckpt::Serializer &s) const
+{
+    TrafficSource::serialize(s);
+    s.writeU32(inBurstRemaining);
+    s.writeTick(nextBurstStart);
+}
+
+void
+BurstyTrafficGen::unserialize(ckpt::Deserializer &d)
+{
+    TrafficSource::unserialize(d);
+    inBurstRemaining = d.readU32();
+    nextBurstStart = d.readTick();
 }
 
 PoissonTrafficGen::PoissonTrafficGen(sim::Simulation &simulation,
@@ -143,10 +199,8 @@ PoissonTrafficGen::PoissonTrafficGen(sim::Simulation &simulation,
 void
 PoissonTrafficGen::start()
 {
-    eventq().scheduleIn(
-        std::max<sim::Tick>(
-            1, static_cast<sim::Tick>(rng.exponential(meanGapTicks))),
-        [this] { tick(); });
+    scheduleFireIn(std::max<sim::Tick>(
+        1, static_cast<sim::Tick>(rng.exponential(meanGapTicks))));
 }
 
 void
@@ -156,6 +210,24 @@ PoissonTrafficGen::tick()
         return;
     emitPacket();
     start();
+}
+
+void
+PoissonTrafficGen::serialize(ckpt::Serializer &s) const
+{
+    TrafficSource::serialize(s);
+    for (const std::uint64_t w : rng.state())
+        s.writeU64(w);
+}
+
+void
+PoissonTrafficGen::unserialize(ckpt::Deserializer &d)
+{
+    TrafficSource::unserialize(d);
+    std::array<std::uint64_t, 4> st;
+    for (std::uint64_t &w : st)
+        w = d.readU64();
+    rng.setState(st);
 }
 
 TraceTrafficGen::TraceTrafficGen(sim::Simulation &simulation,
@@ -181,8 +253,7 @@ TraceTrafficGen::start()
 {
     epoch = now();
     next = 0;
-    eventq().schedule(epoch + trace.front().when,
-                      [this] { deliverNext(); });
+    scheduleFireAt(epoch + trace.front().when);
 }
 
 void
@@ -203,8 +274,23 @@ TraceTrafficGen::deliverNext()
         next = 0;
         epoch = now() + loopGap;
     }
-    eventq().schedule(epoch + trace[next].when,
-                      [this] { deliverNext(); });
+    scheduleFireAt(epoch + trace[next].when);
+}
+
+void
+TraceTrafficGen::serialize(ckpt::Serializer &s) const
+{
+    TrafficSource::serialize(s);
+    s.writeU64(next);
+    s.writeTick(epoch);
+}
+
+void
+TraceTrafficGen::unserialize(ckpt::Deserializer &d)
+{
+    TrafficSource::unserialize(d);
+    next = static_cast<std::size_t>(d.readU64());
+    epoch = d.readTick();
 }
 
 std::vector<FlowSpec>

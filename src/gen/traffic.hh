@@ -73,6 +73,9 @@ class TrafficSource : public sim::SimObject
     stats::Counter bytesSent;
     /** @} */
 
+    void serialize(ckpt::Serializer &s) const override;
+    void unserialize(ckpt::Deserializer &d) override;
+
   protected:
     /** Emit the next packet (round-robin flow selection). */
     void emitPacket();
@@ -80,12 +83,31 @@ class TrafficSource : public sim::SimObject
     /** True when generation should cease. */
     bool stopped() const { return now() >= cfg.stopAt; }
 
+    /**
+     * @{ Tracked one-shot scheduling. All generator pacing goes
+     * through these so a checkpoint knows the pending callback's
+     * {when, seq} and restore can re-register it; fire() dispatches to
+     * the subclass's emission routine.
+     */
+    void scheduleFireAt(sim::Tick when);
+    void scheduleFireIn(sim::Tick delay) { scheduleFireAt(now() + delay); }
+    virtual void fire() = 0;
+    /** @} */
+
     nic::Nic &port;
     TrafficConfig cfg;
 
   private:
+    struct PendingTick
+    {
+        bool active = false;
+        sim::Tick when = 0;
+        std::uint64_t seq = 0;
+    };
+
     std::size_t nextFlow = 0;
     std::uint64_t seq = 0;
+    PendingTick pendingTick;
 };
 
 /**
@@ -105,6 +127,7 @@ class SteadyTrafficGen : public TrafficSource
 
   private:
     void tick();
+    void fire() override { tick(); }
 
     sim::Tick interPacket;
 };
@@ -136,8 +159,12 @@ class BurstyTrafficGen : public TrafficSource
 
     const BurstParams &params() const { return burst; }
 
+    void serialize(ckpt::Serializer &s) const override;
+    void unserialize(ckpt::Deserializer &d) override;
+
   private:
     void tick();
+    void fire() override { tick(); }
 
     BurstParams burst;
     sim::Tick interPacket;
@@ -157,8 +184,12 @@ class PoissonTrafficGen : public TrafficSource
 
     void start() override;
 
+    void serialize(ckpt::Serializer &s) const override;
+    void unserialize(ckpt::Deserializer &d) override;
+
   private:
     void tick();
+    void fire() override { tick(); }
 
     double meanGapTicks;
     sim::Rng rng;
@@ -183,8 +214,12 @@ class TraceTrafficGen : public TrafficSource
 
     std::size_t traceLength() const { return trace.size(); }
 
+    void serialize(ckpt::Serializer &s) const override;
+    void unserialize(ckpt::Deserializer &d) override;
+
   private:
     void deliverNext();
+    void fire() override { deliverNext(); }
 
     std::vector<net::TraceRecord> trace;
     bool loop;

@@ -6,6 +6,7 @@
 #include "system.hh"
 
 #include "cache/invariants.hh"
+#include "ckpt/checkpoint.hh"
 #include "nf/copy_touch_drop.hh"
 #include "nic/invariants.hh"
 
@@ -171,6 +172,20 @@ void
 TestSystem::runFor(sim::Tick duration)
 {
     sim_.runFor(duration);
+}
+
+std::vector<std::uint8_t>
+TestSystem::checkpoint()
+{
+    SIM_ASSERT(started, "checkpoint of an unstarted TestSystem");
+    return ckpt::save(sim_);
+}
+
+void
+TestSystem::restore(const std::vector<std::uint8_t> &blob)
+{
+    SIM_ASSERT(started, "restore into an unstarted TestSystem");
+    ckpt::restore(sim_, blob);
 }
 
 Totals

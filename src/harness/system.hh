@@ -71,6 +71,21 @@ class TestSystem
     /** Run for @p duration more simulated time. */
     void runFor(sim::Tick duration);
 
+    /**
+     * Serialize the full dynamic state (ckpt::save). Must be called
+     * between events — i.e.\ from harness code around runFor()
+     * boundaries — on a started system.
+     */
+    std::vector<std::uint8_t> checkpoint();
+
+    /**
+     * Overwrite this (started) system's dynamic state with @p blob.
+     * The system must have been built from the same configuration and
+     * seed as the one that produced the blob; any drift is fatal.
+     * Subsequent execution is bit-identical to the checkpointed run.
+     */
+    void restore(const std::vector<std::uint8_t> &blob);
+
     /** @{ Component access. */
     sim::Simulation &simulation() { return sim_; }
     cache::MemoryHierarchy &hierarchy() { return *hier; }

@@ -43,6 +43,7 @@ writeTraceArtifacts(const std::string &path, TestSystem &system)
                    sidecar.c_str());
     stats::JsonWriter w(ofs);
     w.beginObject();
+    w.field("formatVersion", totalsFormatVersion);
     w.field("rxPackets", t.rxPackets);
     w.field("rxDrops", t.rxDrops);
     w.field("processedPackets", t.processedPackets);

@@ -23,6 +23,14 @@ namespace harness
 {
 
 /**
+ * Format version of the PATH.totals.json sidecar. Bump whenever a
+ * field is renamed, removed, or its meaning changes;
+ * tools/trace_summary.py --check-totals refuses sidecars whose
+ * version it does not understand.
+ */
+constexpr std::uint32_t totalsFormatVersion = 1;
+
+/**
  * Enable event tracing on @p system (call before start()).
  *
  * @param eventsPerSource Per-source ring capacity; the default holds

@@ -5,6 +5,7 @@
 
 #include "controller.hh"
 
+#include "ckpt/serializer.hh"
 #include "sim/simulation.hh"
 
 namespace idio
@@ -162,6 +163,41 @@ IdioController::controlPlaneTick()
         }
         intervalsSinceAvg = 0;
     }
+}
+
+void
+IdioController::serialize(ckpt::Serializer &s) const
+{
+    s.writeU64(fsms.size());
+    for (const SteeringFsm &fsm : fsms)
+        s.writeU8(fsm.state());
+    s.writePodVec(wbThisInterval);
+    s.writePodVec(wbAccum);
+    s.writePodVec(wbAvg);
+    s.writeU32(intervalsSinceAvg);
+    ckpt::serializeEvent(s, controlEvent);
+}
+
+void
+IdioController::unserialize(ckpt::Deserializer &d)
+{
+    const std::uint64_t n = d.readU64();
+    if (n != fsms.size())
+        sim::fatal("ckpt: '%s' FSM count mismatch (checkpoint %llu, "
+                   "config %zu)",
+                   name().c_str(), (unsigned long long)n, fsms.size());
+    for (SteeringFsm &fsm : fsms)
+        fsm.restoreState(d.readU8());
+    wbThisInterval = d.readPodVec<std::uint32_t>();
+    wbAccum = d.readPodVec<std::uint64_t>();
+    wbAvg = d.readPodVec<std::uint32_t>();
+    if (wbThisInterval.size() != n || wbAccum.size() != n ||
+        wbAvg.size() != n) {
+        sim::fatal("ckpt: '%s' telemetry vector size mismatch",
+                   name().c_str());
+    }
+    intervalsSinceAvg = d.readU32();
+    ckpt::unserializeEvent(d, &controlEvent);
 }
 
 } // namespace idio

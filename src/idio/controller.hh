@@ -88,6 +88,9 @@ class IdioController : public sim::SimObject, public nic::DmaTarget
     stats::Counter highPressureIntervals;
     /** @} */
 
+    void serialize(ckpt::Serializer &s) const override;
+    void unserialize(ckpt::Deserializer &d) override;
+
   private:
     void controlPlaneTick();
 

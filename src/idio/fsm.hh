@@ -64,6 +64,9 @@ class SteeringFsm
     /** Reset to the power-on state (prefetching disabled). */
     void reset() { counter = 3; }
 
+    /** Force the counter value (checkpoint restore only). */
+    void restoreState(std::uint8_t c) { counter = c & 3; }
+
   private:
     std::uint8_t counter = 3;
 };

@@ -5,6 +5,7 @@
 
 #include "prefetcher.hh"
 
+#include "ckpt/serializer.hh"
 #include "sim/simulation.hh"
 
 namespace idio
@@ -89,6 +90,27 @@ MlcPrefetcher::issue()
         else if (!issueEvent.scheduled())
             eventq().scheduleIn(&issueEvent, issuePeriod);
     }
+}
+
+void
+MlcPrefetcher::serialize(ckpt::Serializer &s) const
+{
+    s.writeU32(outstanding);
+    s.writeU64(queue.size());
+    for (const sim::Addr a : queue)
+        s.writeU64(a);
+    ckpt::serializeEvent(s, issueEvent);
+}
+
+void
+MlcPrefetcher::unserialize(ckpt::Deserializer &d)
+{
+    outstanding = d.readU32();
+    queue.clear();
+    const std::uint64_t n = d.readU64();
+    for (std::uint64_t i = 0; i < n; ++i)
+        queue.push_back(d.readU64());
+    ckpt::unserializeEvent(d, &issueEvent);
 }
 
 } // namespace idio

@@ -76,6 +76,9 @@ class MlcPrefetcher : public sim::SimObject
     stats::Counter stalls; ///< issue slots skipped (window full)
     /** @} */
 
+    void serialize(ckpt::Serializer &s) const override;
+    void unserialize(ckpt::Deserializer &d) override;
+
   private:
     class IssueEvent : public sim::Event
     {

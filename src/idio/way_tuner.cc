@@ -5,6 +5,7 @@
 
 #include "way_tuner.hh"
 
+#include "ckpt/serializer.hh"
 #include "sim/simulation.hh"
 
 namespace idio
@@ -69,6 +70,22 @@ DdioWayTuner::evaluate()
         hier.llc().setDdioWays(ways - 1);
         ++shrinks;
     }
+}
+
+void
+DdioWayTuner::serialize(ckpt::Serializer &s) const
+{
+    s.writeU64(lastLeak);
+    s.writeU64(lastMisses);
+    ckpt::serializeEvent(s, tick);
+}
+
+void
+DdioWayTuner::unserialize(ckpt::Deserializer &d)
+{
+    lastLeak = d.readU64();
+    lastMisses = d.readU64();
+    ckpt::unserializeEvent(d, &tick);
 }
 
 } // namespace idio

@@ -76,6 +76,9 @@ class DdioWayTuner : public sim::SimObject
     stats::Counter evaluations;
     /** @} */
 
+    void serialize(ckpt::Serializer &s) const override;
+    void unserialize(ckpt::Deserializer &d) override;
+
   private:
     void evaluate();
 

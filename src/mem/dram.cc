@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "ckpt/serializer.hh"
 #include "sim/simulation.hh"
 
 namespace mem
@@ -58,6 +59,18 @@ DramModel::access(AccessType type)
     queuedTicks += queueDelay;
 
     return queueDelay + accessLatency;
+}
+
+void
+DramModel::serialize(ckpt::Serializer &s) const
+{
+    s.writeTick(nextFree);
+}
+
+void
+DramModel::unserialize(ckpt::Deserializer &d)
+{
+    nextFree = d.readTick();
 }
 
 } // namespace mem

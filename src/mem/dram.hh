@@ -72,6 +72,9 @@ class DramModel : public sim::SimObject
      */
     void resetTiming() { nextFree = 0; }
 
+    void serialize(ckpt::Serializer &s) const override;
+    void unserialize(ckpt::Deserializer &d) override;
+
   private:
     DramConfig cfg;
     sim::Tick serviceTime;  // channel occupancy per cacheline

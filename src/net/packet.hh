@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "ckpt/serializer.hh"
 #include "net/flow.hh"
 #include "net/headers.hh"
 #include "sim/types.hh"
@@ -63,6 +64,45 @@ struct Packet
     /** Parse a rendered header block back into flow identity + DSCP. */
     static Packet parseHeaders(const std::uint8_t *in);
 };
+
+/**
+ * @{ Checkpoint helpers: field-by-field so the byte stream is free of
+ * struct padding (keeps checkpoint files deterministic).
+ */
+inline void
+serializePacket(ckpt::Serializer &s, const Packet &p)
+{
+    s.writeU32(p.flow.srcIp);
+    s.writeU32(p.flow.dstIp);
+    s.writeU16(p.flow.srcPort);
+    s.writeU16(p.flow.dstPort);
+    s.writeU8(static_cast<std::uint8_t>(p.flow.proto));
+    s.writeU32(p.frameBytes);
+    s.writeU8(p.dscp);
+    s.writeU64(p.seq);
+    s.writeTick(p.genTime);
+    s.writeTick(p.nicArrival);
+    s.writeU64(p.id);
+}
+
+inline Packet
+unserializePacket(ckpt::Deserializer &d)
+{
+    Packet p;
+    p.flow.srcIp = d.readU32();
+    p.flow.dstIp = d.readU32();
+    p.flow.srcPort = d.readU16();
+    p.flow.dstPort = d.readU16();
+    p.flow.proto = static_cast<IpProto>(d.readU8());
+    p.frameBytes = d.readU32();
+    p.dscp = d.readU8();
+    p.seq = d.readU64();
+    p.genTime = d.readTick();
+    p.nicArrival = d.readTick();
+    p.id = d.readU64();
+    return p;
+}
+/** @} */
 
 } // namespace net
 

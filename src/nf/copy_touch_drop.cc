@@ -5,6 +5,8 @@
 
 #include "copy_touch_drop.hh"
 
+#include "ckpt/serializer.hh"
+
 namespace nf
 {
 
@@ -44,6 +46,20 @@ CopyTouchDrop::processPacket(cpu::Core &c, dpdk::Mbuf &m)
     lat += c.read(copyAddr, m.pktBytes);
     lat += perLineCost * mem::linesSpanned(copyAddr, m.pktBytes);
     return lat;
+}
+
+void
+CopyTouchDrop::serialize(ckpt::Serializer &s) const
+{
+    NetworkFunction::serialize(s);
+    s.writeU32(nextSlot);
+}
+
+void
+CopyTouchDrop::unserialize(ckpt::Deserializer &d)
+{
+    NetworkFunction::unserialize(d);
+    nextSlot = d.readU32();
 }
 
 } // namespace nf

@@ -42,6 +42,9 @@ class CopyTouchDrop : public NetworkFunction
                   const NfConfig &config, mem::PhysAllocator &alloc,
                   std::uint32_t arenaBuffers = 512);
 
+    void serialize(ckpt::Serializer &s) const override;
+    void unserialize(ckpt::Deserializer &d) override;
+
   protected:
     sim::Tick processPacket(cpu::Core &c, dpdk::Mbuf &m) override;
 

@@ -5,6 +5,7 @@
 
 #include "l2fwd.hh"
 
+#include "ckpt/serializer.hh"
 #include "net/headers.hh"
 
 namespace nf
@@ -13,7 +14,12 @@ namespace nf
 L2Fwd::L2Fwd(sim::Simulation &simulation, const std::string &name,
              cpu::Core &core, dpdk::RxQueue &rxQueue,
              const NfConfig &config)
-    : NetworkFunction(simulation, name, core, rxQueue, config)
+    : NetworkFunction(simulation, name, core, rxQueue, config),
+      txDoneHandler(rxQueue.port().dmaEngine().registerHandler(
+          name + ".txDone",
+          [this](const nic::DmaArgs &args) {
+              onTxDone(static_cast<std::uint32_t>(args[0]));
+          }))
 {
 }
 
@@ -27,10 +33,11 @@ L2Fwd::processPacket(cpu::Core &c, dpdk::Mbuf &m)
     lat += perLineCost;
 
     // Zero-copy TX of the same DMA buffer; completion recycles it.
-    const std::uint32_t idx = m.idx;
+    // The completion goes through a named handler so a pending TX
+    // survives a checkpoint.
     ++txInFlight;
-    rxq.port().transmit(m.dataAddr, txBytes(m),
-                        [this, idx] { onTxDone(idx); });
+    rxq.port().transmit(m.dataAddr, txBytes(m), txDoneHandler,
+                        nic::DmaArgs{m.idx, 0, 0, 0, 0, 0});
     return lat;
 }
 
@@ -41,6 +48,20 @@ L2Fwd::onTxDone(std::uint32_t mbufIdx)
     // The buffer is dead only now; sample latency, self-invalidate,
     // and recycle. The release cost is charged to the NF's next step.
     deferredCost += completePacket(mbufIdx, 0);
+}
+
+void
+L2Fwd::serialize(ckpt::Serializer &s) const
+{
+    NetworkFunction::serialize(s);
+    s.writeU32(txInFlight);
+}
+
+void
+L2Fwd::unserialize(ckpt::Deserializer &d)
+{
+    NetworkFunction::unserialize(d);
+    txInFlight = d.readU32();
 }
 
 } // namespace nf

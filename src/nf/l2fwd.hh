@@ -35,6 +35,9 @@ class L2Fwd : public NetworkFunction
     /** Packets whose TX has not completed yet. */
     std::uint32_t inFlightTx() const { return txInFlight; }
 
+    void serialize(ckpt::Serializer &s) const override;
+    void unserialize(ckpt::Deserializer &d) override;
+
   protected:
     sim::Tick processPacket(cpu::Core &c, dpdk::Mbuf &m) override;
     bool asyncCompletion() const override { return true; }
@@ -50,6 +53,7 @@ class L2Fwd : public NetworkFunction
     void onTxDone(std::uint32_t mbufIdx);
 
     std::uint32_t txInFlight = 0;
+    std::uint32_t txDoneHandler; ///< named DMA completion handler
 };
 
 /**

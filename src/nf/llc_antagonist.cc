@@ -5,6 +5,7 @@
 
 #include "llc_antagonist.hh"
 
+#include "ckpt/serializer.hh"
 #include "sim/simulation.hh"
 
 namespace nf
@@ -70,6 +71,22 @@ LlcAntagonist::ticksPerAccess() const
         return 0.0;
     return static_cast<double>(accessTicks.get()) /
            static_cast<double>(accesses.get());
+}
+
+void
+LlcAntagonist::serialize(ckpt::Serializer &s) const
+{
+    for (const std::uint64_t w : rng.state())
+        s.writeU64(w);
+}
+
+void
+LlcAntagonist::unserialize(ckpt::Deserializer &d)
+{
+    std::array<std::uint64_t, 4> st;
+    for (std::uint64_t &w : st)
+        w = d.readU64();
+    rng.setState(st);
 }
 
 } // namespace nf

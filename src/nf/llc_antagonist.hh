@@ -74,6 +74,9 @@ class LlcAntagonist : public cpu::Workload, public sim::SimObject
     stats::Counter accessTicks;
     /** @} */
 
+    void serialize(ckpt::Serializer &s) const override;
+    void unserialize(ckpt::Deserializer &d) override;
+
   private:
     cpu::Core &core;
     AntagonistConfig cfg;

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "ckpt/serializer.hh"
 #include "sim/simulation.hh"
 
 namespace nf
@@ -98,6 +99,29 @@ NetworkFunction::completePacket(std::uint32_t mbufIdx, sim::Tick accrued)
                        m.pkt.id, 0, mbufIdx);
     rxq.mempool().free(mbufIdx);
     return lat;
+}
+
+void
+NetworkFunction::serialize(ckpt::Serializer &s) const
+{
+    s.writeU64(pending.size());
+    for (const std::uint32_t idx : pending)
+        s.writeU32(idx);
+    s.writeTick(deferredCost);
+    rxq.serialize(s);
+    rxq.mempool().serialize(s);
+}
+
+void
+NetworkFunction::unserialize(ckpt::Deserializer &d)
+{
+    pending.clear();
+    const std::uint64_t n = d.readU64();
+    for (std::uint64_t i = 0; i < n; ++i)
+        pending.push_back(d.readU32());
+    deferredCost = d.readTick();
+    rxq.unserialize(d);
+    rxq.mempool().unserialize(d);
 }
 
 } // namespace nf

@@ -76,6 +76,13 @@ class NetworkFunction : public cpu::Workload, public sim::SimObject
     stats::LatencyRecorder latency;
     /** @} */
 
+    /**
+     * Checkpoints the NF loop state plus the driver objects it owns
+     * (RX queue cursors and the mempool) in one section.
+     */
+    void serialize(ckpt::Serializer &s) const override;
+    void unserialize(ckpt::Deserializer &d) override;
+
   protected:
     /**
      * NF-specific packet handling.

@@ -88,4 +88,27 @@ IdioClassifier::resetCounters()
     std::fill(crossedThis.begin(), crossedThis.end(), false);
 }
 
+void
+IdioClassifier::serialize(ckpt::Serializer &s) const
+{
+    s.writePodVec(counters);
+    s.writeBoolVec(crossedThis);
+    s.writeBoolVec(crossedPrev);
+    ckpt::serializeEvent(s, resetEvent);
+}
+
+void
+IdioClassifier::unserialize(ckpt::Deserializer &d)
+{
+    counters = d.readPodVec<std::uint32_t>();
+    crossedThis = d.readBoolVec();
+    crossedPrev = d.readBoolVec();
+    if (counters.size() != crossedThis.size() ||
+        counters.size() != crossedPrev.size()) {
+        sim::fatal("ckpt: '%s' per-core vector size mismatch",
+                   name().c_str());
+    }
+    ckpt::unserializeEvent(d, &resetEvent);
+}
+
 } // namespace nic

@@ -110,6 +110,9 @@ class IdioClassifier : public sim::SimObject
     /** Threshold in bytes per interval. */
     std::uint32_t thresholdBytes() const { return thrBytes; }
 
+    void serialize(ckpt::Serializer &s) const override;
+    void unserialize(ckpt::Deserializer &d) override;
+
     /** @{ Counters. */
     stats::Counter packetsClassified;
     stats::Counter burstsDetected; ///< threshold crossings

@@ -13,8 +13,11 @@
 #ifndef IDIO_NIC_DMA_HH
 #define IDIO_NIC_DMA_HH
 
+#include <array>
 #include <deque>
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "mem/addr.hh"
 #include "nic/tlp.hh"
@@ -24,6 +27,16 @@
 
 namespace nic
 {
+
+/**
+ * Arguments carried by a *named* DMA completion callback. Fixed-size
+ * so pending callbacks are checkpointable: owners pack whatever the
+ * handler needs (indices, addresses, timestamps) into the slots.
+ */
+using DmaArgs = std::array<std::uint64_t, 6>;
+
+/** A named completion handler registered with registerHandler(). */
+using DmaHandler = std::function<void(const DmaArgs &)>;
 
 /**
  * Root-complex-side consumer of DMA transactions. Implemented by the
@@ -64,11 +77,31 @@ class DmaEngine : public sim::SimObject
     /** Queue an outbound cacheline read. */
     void enqueueRead(sim::Addr addr);
 
-    /** Queue an in-order completion callback. */
+    /**
+     * Queue an in-order *anonymous* completion callback. Fine for
+     * tests and throwaway harnesses, but a checkpoint taken while one
+     * is pending fails loudly — production callers register a named
+     * handler instead so pending completions can be serialized.
+     */
     void enqueueCallback(std::function<void()> cb);
+
+    /**
+     * Register a named completion handler. Handlers must be
+     * registered in deterministic construction order; the returned id
+     * is stable for a given configuration, and the checkpoint stores
+     * the *name* so id drift across versions still restores correctly.
+     */
+    std::uint32_t registerHandler(const std::string &handlerName,
+                                  DmaHandler fn);
+
+    /** Queue an in-order completion callback by handler id. */
+    void enqueueCallback(std::uint32_t handlerId, const DmaArgs &args);
 
     /** Operations not yet issued. */
     std::size_t queueDepth() const { return ops.size(); }
+
+    void serialize(ckpt::Serializer &s) const override;
+    void unserialize(ckpt::Deserializer &d) override;
 
     /** @{ Counters. */
     stats::Counter linesWritten;
@@ -86,10 +119,21 @@ class DmaEngine : public sim::SimObject
             Callback,
         };
 
+        /** handlerId value for the anonymous std::function path. */
+        static constexpr std::uint32_t noHandler = ~std::uint32_t(0);
+
         Kind kind;
         sim::Addr addr = 0;
         TlpMeta meta;
         std::function<void()> cb;
+        std::uint32_t handlerId = noHandler;
+        DmaArgs args{};
+    };
+
+    struct Handler
+    {
+        std::string hname;
+        DmaHandler fn;
     };
 
     class PumpEvent : public sim::Event
@@ -108,10 +152,12 @@ class DmaEngine : public sim::SimObject
 
     void schedulePump();
     void pump();
+    void fireCallback(DmaOp &op);
 
     DmaTarget &target;
     sim::Tick lineTime;
     std::deque<DmaOp> ops;
+    std::vector<Handler> handlers;
     PumpEvent pumpEvent;
 };
 

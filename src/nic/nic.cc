@@ -10,6 +10,30 @@
 namespace nic
 {
 
+namespace
+{
+
+/** Pack a Classification into one DmaArgs slot (and back). */
+std::uint64_t
+packClassification(const Classification &cls)
+{
+    return std::uint64_t(cls.appClass) |
+           (std::uint64_t(cls.destCore) << 8) |
+           (std::uint64_t(cls.burstActive ? 1 : 0) << 40);
+}
+
+Classification
+unpackClassification(std::uint64_t v)
+{
+    Classification cls;
+    cls.appClass = static_cast<std::uint8_t>(v & 0xff);
+    cls.destCore = static_cast<sim::CoreId>((v >> 8) & 0xffffffffu);
+    cls.burstActive = ((v >> 40) & 1) != 0;
+    return cls;
+}
+
+} // anonymous namespace
+
 Nic::Nic(sim::Simulation &simulation, const std::string &name,
          const NicConfig &config, DmaTarget &target,
          mem::PhysAllocator &alloc, std::uint32_t numCores)
@@ -31,6 +55,13 @@ Nic::Nic(sim::Simulation &simulation, const std::string &name,
            config.ringSize),
       descWbDelay(sim::nsToTicks(config.descWbDelayNs))
 {
+    payloadDoneHandler = dma.registerHandler(
+        name + ".payloadDone",
+        [this](const DmaArgs &args) { onPayloadDone(args); });
+    descCompleteHandler = dma.registerHandler(
+        name + ".descComplete", [this](const DmaArgs &args) {
+            onDescComplete(static_cast<std::uint32_t>(args[0]));
+        });
 }
 
 void
@@ -70,14 +101,25 @@ Nic::deliver(net::Packet pkt)
                          cls.tlpFor(pktCls, i == 0));
     }
     const sim::Tick dmaStart = now();
-    dma.enqueueCallback([this, idx, pktCls, dmaStart,
-                         pktId = pkt.id, lines,
-                         bufAddr = slot.bufAddr] {
-        IDIO_TRACE_COMPLETE(trc, trace::EventKind::NicDmaPayload,
-                            dmaStart, now() - dmaStart, pktId, lines,
-                            bufAddr);
-        startDescriptorWriteback(idx, pktCls);
-    });
+    dma.enqueueCallback(payloadDoneHandler,
+                        DmaArgs{idx, packClassification(pktCls),
+                                dmaStart, pkt.id, lines,
+                                slot.bufAddr});
+}
+
+void
+Nic::onPayloadDone(const DmaArgs &args)
+{
+    const auto idx = static_cast<std::uint32_t>(args[0]);
+    const Classification pktCls = unpackClassification(args[1]);
+    [[maybe_unused]] const sim::Tick dmaStart = args[2];
+    [[maybe_unused]] const std::uint64_t pktId = args[3];
+    [[maybe_unused]] const auto lines =
+        static_cast<std::uint32_t>(args[4]);
+    [[maybe_unused]] const sim::Addr bufAddr = args[5];
+    IDIO_TRACE_COMPLETE(trc, trace::EventKind::NicDmaPayload, dmaStart,
+                        now() - dmaStart, pktId, lines, bufAddr);
+    startDescriptorWriteback(idx, pktCls);
 }
 
 void
@@ -94,19 +136,39 @@ Nic::startDescriptorWriteback(std::uint32_t descIdx,
     meta.isBurst = pktCls.burstActive;
     meta.destCore = pktCls.destCore;
 
-    eventq().scheduleIn(descWbDelay, [this, descIdx, meta] {
-        const sim::Addr base = ring.descAddr(descIdx);
-        const std::uint64_t descLines =
-            mem::linesSpanned(base, rxDescBytes);
-        for (std::uint64_t i = 0; i < descLines; ++i) {
-            dma.enqueueWrite(base + i * mem::lineSize, meta);
-        }
-        dma.enqueueCallback([this, descIdx] {
-            ring.hwComplete(descIdx);
-            IDIO_TRACE_INSTANT(trc, trace::EventKind::NicDescWb, now(),
-                               ring.slot(descIdx).pkt.id, 0, descIdx);
-        });
-    });
+    // The delay is a constant, so pending writebacks complete in FIFO
+    // order; the scheduled one-shot pops the deque's front. Tracking
+    // them explicitly (instead of capturing descIdx/meta in the
+    // closure) is what makes in-flight writebacks checkpointable.
+    pendingWbs.push_back(
+        PendingWb{now() + descWbDelay, 0, descIdx, meta});
+    pendingWbs.back().seq =
+        eventq().scheduleIn(descWbDelay, [this] { descWbFire(); });
+}
+
+void
+Nic::descWbFire()
+{
+    SIM_ASSERT(!pendingWbs.empty(),
+               "descriptor writeback fired with none pending");
+    const PendingWb wb = pendingWbs.front();
+    pendingWbs.pop_front();
+
+    const sim::Addr base = ring.descAddr(wb.descIdx);
+    const std::uint64_t descLines = mem::linesSpanned(base, rxDescBytes);
+    for (std::uint64_t i = 0; i < descLines; ++i) {
+        dma.enqueueWrite(base + i * mem::lineSize, wb.meta);
+    }
+    dma.enqueueCallback(descCompleteHandler,
+                        DmaArgs{wb.descIdx, 0, 0, 0, 0, 0});
+}
+
+void
+Nic::onDescComplete(std::uint32_t descIdx)
+{
+    ring.hwComplete(descIdx);
+    IDIO_TRACE_INSTANT(trc, trace::EventKind::NicDescWb, now(),
+                       ring.slot(descIdx).pkt.id, 0, descIdx);
 }
 
 void
@@ -120,6 +182,80 @@ Nic::transmit(sim::Addr bufAddr, std::uint32_t frameBytes,
     txBytes += frameBytes;
     if (txDone)
         dma.enqueueCallback(std::move(txDone));
+}
+
+void
+Nic::transmit(sim::Addr bufAddr, std::uint32_t frameBytes,
+              std::uint32_t txDoneHandler, const DmaArgs &args)
+{
+    const std::uint64_t lines = mem::linesSpanned(bufAddr, frameBytes);
+    for (std::uint64_t i = 0; i < lines; ++i)
+        dma.enqueueRead(bufAddr + i * mem::lineSize);
+    ++txPackets;
+    txBytes += frameBytes;
+    dma.enqueueCallback(txDoneHandler, args);
+}
+
+void
+Nic::serialize(ckpt::Serializer &s) const
+{
+    // Ring indices and per-slot state (field by field: RxSlot holds a
+    // Packet, which has padding).
+    s.writeU32(ring.hwHead());
+    s.writeU32(ring.swHead());
+    s.writeU32(ring.size());
+    for (std::uint32_t i = 0; i < ring.size(); ++i) {
+        const RxSlot &slot = ring.slot(i);
+        s.writeU64(slot.bufAddr);
+        s.writeU32(slot.mbufIdx);
+        s.writeBool(slot.armed);
+        s.writeBool(slot.inFlight);
+        s.writeBool(slot.dd);
+        net::serializePacket(s, slot.pkt);
+    }
+
+    // In-flight descriptor writebacks, front (oldest) first.
+    s.writeU64(pendingWbs.size());
+    for (const PendingWb &wb : pendingWbs) {
+        s.writeTick(wb.when);
+        s.writeU64(wb.seq);
+        s.writeU32(wb.descIdx);
+        serializeTlpMeta(s, wb.meta);
+    }
+}
+
+void
+Nic::unserialize(ckpt::Deserializer &d)
+{
+    const std::uint32_t hw = d.readU32();
+    const std::uint32_t sw = d.readU32();
+    const std::uint32_t n = d.readU32();
+    if (n != ring.size())
+        sim::fatal("ckpt: '%s' ring size mismatch (checkpoint %u, "
+                   "config %u)",
+                   name().c_str(), n, ring.size());
+    ring.restoreHeads(hw, sw);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        RxSlot &slot = ring.slot(i);
+        slot.bufAddr = d.readU64();
+        slot.mbufIdx = d.readU32();
+        slot.armed = d.readBool();
+        slot.inFlight = d.readBool();
+        slot.dd = d.readBool();
+        slot.pkt = net::unserializePacket(d);
+    }
+
+    pendingWbs.clear();
+    const std::uint64_t wbs = d.readU64();
+    for (std::uint64_t i = 0; i < wbs; ++i) {
+        PendingWb wb;
+        wb.when = d.readTick();
+        wb.seq = d.readU64();
+        wb.descIdx = d.readU32();
+        wb.meta = unserializeTlpMeta(d);
+        pendingWbs.push_back(wb);
+        d.deferOneShot(wb.seq, wb.when, [this] { descWbFire(); });
+    }
 }
 
 } // namespace nic

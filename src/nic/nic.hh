@@ -13,6 +13,7 @@
 #ifndef IDIO_NIC_NIC_HH
 #define IDIO_NIC_NIC_HH
 
+#include <deque>
 #include <functional>
 #include <memory>
 
@@ -81,14 +82,24 @@ class Nic : public sim::SimObject
     /**
      * Egress: DMA-read a frame for transmission.
      * @param txDone invoked when the last line has been read.
+     * Anonymous-callback variant (not checkpointable while pending);
+     * NFs that transmit register a named handler and use the overload.
      */
     void transmit(sim::Addr bufAddr, std::uint32_t frameBytes,
                   std::function<void()> txDone);
 
+    /** Egress with a named completion handler (checkpointable). */
+    void transmit(sim::Addr bufAddr, std::uint32_t frameBytes,
+                  std::uint32_t txDoneHandler, const DmaArgs &args);
+
     RxRing &rxRing() { return ring; }
     FlowDirector &flowDirector() { return fdir; }
     IdioClassifier &classifier() { return cls; }
+    DmaEngine &dmaEngine() { return dma; }
     const NicConfig &config() const { return cfg; }
+
+    void serialize(ckpt::Serializer &s) const override;
+    void unserialize(ckpt::Deserializer &d) override;
 
     /** @{ Counters. */
     stats::Counter rxPackets;
@@ -99,8 +110,25 @@ class Nic : public sim::SimObject
     /** @} */
 
   private:
+    /**
+     * A descriptor writeback waiting for its batching delay to elapse.
+     * The delay is a constant, so pending writebacks fire in FIFO
+     * order: the scheduled one-shots pop the front of the deque, and a
+     * checkpoint serializes the deque plus each entry's schedule.
+     */
+    struct PendingWb
+    {
+        sim::Tick when;
+        std::uint64_t seq;
+        std::uint32_t descIdx;
+        TlpMeta meta;
+    };
+
     void startDescriptorWriteback(std::uint32_t descIdx,
                                   const Classification &pktCls);
+    void descWbFire();
+    void onPayloadDone(const DmaArgs &args);
+    void onDescComplete(std::uint32_t descIdx);
 
     NicConfig cfg;
     RxTap rxTap;
@@ -110,6 +138,9 @@ class Nic : public sim::SimObject
     IdioClassifier cls;
     RxRing ring;
     sim::Tick descWbDelay;
+    std::deque<PendingWb> pendingWbs;
+    std::uint32_t payloadDoneHandler;
+    std::uint32_t descCompleteHandler;
 };
 
 } // namespace nic

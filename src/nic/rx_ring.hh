@@ -140,6 +140,16 @@ class RxRing
     }
     /** @} */
 
+    /** Force the head indices (checkpoint restore only). */
+    void
+    restoreHeads(std::uint32_t hw, std::uint32_t sw)
+    {
+        SIM_ASSERT(hw < size() && sw < size(),
+                   "restoring out-of-range ring heads");
+        hwNext = hw;
+        swNext = sw;
+    }
+
     /** Armed-and-idle descriptor count (free ring capacity). */
     std::uint32_t
     armedCount() const

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "ckpt/serializer.hh"
 #include "sim/types.hh"
 
 namespace nic
@@ -47,6 +48,32 @@ std::uint32_t encodeTlp(const TlpMeta &meta);
 
 /** Recover metadata from TLP header DW0 reserved bits. */
 TlpMeta decodeTlp(std::uint32_t dw0);
+
+/**
+ * @{ Checkpoint helpers. Serialized field by field (not via
+ * encodeTlp(), which cannot represent appClass 1 together with a
+ * destination core).
+ */
+inline void
+serializeTlpMeta(ckpt::Serializer &s, const TlpMeta &m)
+{
+    s.writeU8(m.appClass);
+    s.writeBool(m.isHeader);
+    s.writeBool(m.isBurst);
+    s.writeU32(m.destCore);
+}
+
+inline TlpMeta
+unserializeTlpMeta(ckpt::Deserializer &d)
+{
+    TlpMeta m;
+    m.appClass = d.readU8();
+    m.isHeader = d.readBool();
+    m.isBurst = d.readBool();
+    m.destCore = d.readU32();
+    return m;
+}
+/** @} */
 
 } // namespace nic
 

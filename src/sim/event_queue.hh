@@ -63,8 +63,16 @@ class Event
     /** Tick the event is scheduled for (valid only while scheduled). */
     Tick when() const { return _when; }
 
+    /**
+     * Sequence number of the live heap entry (valid only while
+     * scheduled). Same-tick events fire in ascending sequence order;
+     * checkpointing records it so restore can reproduce the order.
+     */
+    std::uint64_t seq() const { return _seq; }
+
   private:
     friend class EventQueue;
+    friend struct EventQueueRestoreAccess;
 
     bool _scheduled = false;
     Tick _when = 0;
@@ -160,9 +168,13 @@ class EventQueue
     /**
      * Schedule a one-shot callable at an absolute tick. The callable
      * is moved into a pooled OneShotEvent: no per-call allocation.
+     *
+     * @return the assigned sequence number; owners that need to
+     *         checkpoint the pending callback record it (together with
+     *         @p when) so restore can replay the exact firing order.
      */
     template <typename F>
-    void
+    std::uint64_t
     schedule(Tick when, F &&fn)
     {
         if (when < curTick)
@@ -175,14 +187,15 @@ class EventQueue
         ev->_when = when;
         ev->_seq = nextSeq;
         push(Entry{when, nextSeq++, ev, true});
+        return ev->_seq;
     }
 
     /** Schedule a one-shot callable at now() + delta. */
     template <typename F>
-    void
+    std::uint64_t
     scheduleIn(Tick delta, F &&fn)
     {
-        schedule(now() + delta, std::forward<F>(fn));
+        return schedule(now() + delta, std::forward<F>(fn));
     }
 
     /** Number of events currently pending. */
@@ -247,6 +260,7 @@ class EventQueue
 
   private:
     friend struct EventQueueTestAccess;
+    friend struct EventQueueRestoreAccess;
 
     struct Entry
     {
@@ -351,6 +365,68 @@ struct EventQueueTestAccess
     {
         return eq.oneShotPool.size();
     }
+};
+
+/**
+ * Checkpoint-layer access to EventQueue internals (used only by
+ * src/ckpt). Restore must discard every event scheduled by fresh
+ * construction/start() and rebuild the pending set from the
+ * checkpoint, then force the private time base and counters to the
+ * checkpointed values. Production model code must never touch this.
+ */
+struct EventQueueRestoreAccess
+{
+    /**
+     * Drop every pending event and reset the sequence counter so the
+     * deferred-schedule replay starts from zero. Owned one-shot nodes
+     * go back to the pool; non-owned events are simply unmarked so
+     * their owners can reschedule them.
+     */
+    static void
+    clearPending(EventQueue &eq)
+    {
+        for (EventQueue::Entry &e : eq.heap) {
+            if (e.ev) {
+                e.ev->_scheduled = false;
+                if (e.owned) {
+                    eq.releaseOneShot(
+                        static_cast<OneShotEvent *>(e.ev));
+                }
+            }
+        }
+        eq.heap.clear();
+        eq.squashedCount = 0;
+        eq.nextSeq = 0;
+    }
+
+    /** @{ Private counters the checkpoint records/restores. */
+    static std::uint64_t nextSeq(const EventQueue &eq)
+    {
+        return eq.nextSeq;
+    }
+
+    static std::uint64_t sinceHook(const EventQueue &eq)
+    {
+        return eq.sinceHook;
+    }
+
+    static void setCurTick(EventQueue &eq, Tick t) { eq.curTick = t; }
+
+    static void setNextSeq(EventQueue &eq, std::uint64_t s)
+    {
+        eq.nextSeq = s;
+    }
+
+    static void setProcessed(EventQueue &eq, std::uint64_t n)
+    {
+        eq.nProcessed = n;
+    }
+
+    static void setSinceHook(EventQueue &eq, std::uint64_t n)
+    {
+        eq.sinceHook = n;
+    }
+    /** @} */
 };
 
 } // namespace sim

@@ -11,6 +11,8 @@
 #ifndef IDIO_SIM_RNG_HH
 #define IDIO_SIM_RNG_HH
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace sim
@@ -71,6 +73,21 @@ class Rng
 
     /** Bernoulli trial with probability @p p of returning true. */
     bool chance(double p) { return uniform() < p; }
+
+    /** @{ Raw generator state (checkpoint save/restore). */
+    std::array<std::uint64_t, 4>
+    state() const
+    {
+        return {s[0], s[1], s[2], s[3]};
+    }
+
+    void
+    setState(const std::array<std::uint64_t, 4> &st)
+    {
+        for (int i = 0; i < 4; ++i)
+            s[i] = st[static_cast<std::size_t>(i)];
+    }
+    /** @} */
 
   private:
     static std::uint64_t

@@ -13,6 +13,22 @@ namespace sim
 SimObject::SimObject(Simulation &simulation, std::string name)
     : sim(simulation), _name(std::move(name))
 {
+    sim.registerObject(this);
+}
+
+SimObject::~SimObject()
+{
+    sim.unregisterObject(this);
+}
+
+void
+SimObject::serialize(ckpt::Serializer &) const
+{
+}
+
+void
+SimObject::unserialize(ckpt::Deserializer &)
+{
 }
 
 EventQueue &

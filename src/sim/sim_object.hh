@@ -21,6 +21,12 @@ namespace trace
 class Tracer;
 }
 
+namespace ckpt
+{
+class Serializer;
+class Deserializer;
+}
+
 namespace sim
 {
 
@@ -38,7 +44,7 @@ class SimObject
      * @param name Dotted hierarchical instance name.
      */
     SimObject(Simulation &simulation, std::string name);
-    virtual ~SimObject() = default;
+    virtual ~SimObject();
 
     SimObject(const SimObject &) = delete;
     SimObject &operator=(const SimObject &) = delete;
@@ -57,6 +63,19 @@ class SimObject
 
     /** Current simulated time shorthand. */
     Tick now() const;
+
+    /**
+     * @{ Checkpoint hooks. serialize() writes the object's *dynamic*
+     * state (queues, FSM registers, pending-event records...) into the
+     * already-open checkpoint section named after this object;
+     * unserialize() reads it back in the same order. Structural state
+     * rebuilt by construction (sizes, addresses, latencies) and stat
+     * values (captured wholesale by the registry pseudo-section) must
+     * not be written here. The default is stateless.
+     */
+    virtual void serialize(ckpt::Serializer &serializer) const;
+    virtual void unserialize(ckpt::Deserializer &deserializer);
+    /** @} */
 
   protected:
     Simulation &sim;

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "event_queue.hh"
 #include "rng.hh"
@@ -30,6 +31,8 @@ class Tracer;
 
 namespace sim
 {
+
+class SimObject;
 
 /**
  * Owns the event queue, stats registry and RNG for one simulated system.
@@ -63,6 +66,20 @@ class Simulation
     /** Root RNG; components derive their own via deriveRng(). */
     Rng &rng() { return rootRng; }
 
+    /** Root seed this simulation was constructed with. */
+    std::uint64_t seed() const { return seedVal; }
+
+    /**
+     * @{ SimObject registry (checkpoint support). Every SimObject
+     * registers itself at construction and unregisters at destruction;
+     * ckpt::save()/restore() walk the list in registration order,
+     * which is deterministic because model construction is.
+     */
+    void registerObject(SimObject *obj);
+    void unregisterObject(SimObject *obj);
+    const std::vector<SimObject *> &objects() const { return objs; }
+    /** @} */
+
     /**
      * Create an independent deterministic RNG for a component, derived
      * from the root seed and the component name hash.
@@ -82,9 +99,10 @@ class Simulation
   private:
     EventQueue queue;
     Rng rootRng;
-    std::uint64_t seed;
+    std::uint64_t seedVal;
     std::unique_ptr<stats::Registry> statsReg;
     std::unique_ptr<trace::Tracer> tracerPtr;
+    std::vector<SimObject *> objs;
 };
 
 } // namespace sim

@@ -59,6 +59,24 @@ class LatencyRecorder : public Stat
     /** Largest sample (0 when empty). */
     std::uint64_t maxSample() const;
 
+    /**
+     * @{ Raw sample access (checkpoint save/restore). Samples are kept
+     * in insertion order until the first percentile query sorts them,
+     * so round-tripping the raw vector preserves bit-identical state.
+     */
+    const std::vector<std::uint64_t> &rawSamples() const
+    {
+        return samples;
+    }
+
+    void
+    restore(std::vector<std::uint64_t> s)
+    {
+        samples = std::move(s);
+        sorted = false;
+    }
+    /** @} */
+
     double value() const override { return mean(); }
 
     void

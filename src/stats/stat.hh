@@ -74,6 +74,9 @@ class Counter : public Stat
     /** Raw count. */
     std::uint64_t get() const { return count; }
 
+    /** Overwrite the raw count (checkpoint restore only). */
+    void restore(std::uint64_t v) { count = v; }
+
     double value() const override { return static_cast<double>(count); }
     void reset() override { count = 0; }
 

@@ -47,6 +47,16 @@ Tracer::enable()
         b->allocate(cap);
 }
 
+RingBuffer *
+Tracer::findSource(const std::string &name)
+{
+    for (auto &b : bufs) {
+        if (b->name() == name)
+            return b.get();
+    }
+    return nullptr;
+}
+
 std::uint64_t
 Tracer::count(EventKind kind) const
 {

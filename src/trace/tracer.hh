@@ -119,6 +119,16 @@ class RingBuffer
     std::uint32_t tid() const { return id; }
     const std::string &name() const { return srcName; }
 
+    /**
+     * Checkpoint restore: rewind the append counter to @p startHead
+     * (the checkpointed drop count) so replaying the retained events
+     * with record() reproduces the checkpointed ring bit for bit.
+     */
+    void resetForRestore(std::uint64_t startHead)
+    {
+        head = startHead;
+    }
+
     /** Bytes of ring storage currently allocated. */
     std::size_t capacityBytes() const
     {
@@ -245,6 +255,13 @@ class Tracer
     {
         return bufs;
     }
+
+    /** @{ Checkpoint save/restore access. */
+    RingBuffer *findSource(const std::string &name);
+    std::size_t capacity() const { return cap; }
+    std::uint64_t peekNextPacketId() const { return nextPktId; }
+    void setNextPacketId(std::uint64_t id) { nextPktId = id; }
+    /** @} */
 
     /** Retained events of @p kind across all sources. */
     std::uint64_t count(EventKind kind) const;

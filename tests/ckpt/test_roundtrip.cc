@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Whole-system checkpoint round-trip gates.
+ *
+ * The contract under test: checkpoint a running system at tick T,
+ * restore the blob into a freshly built system of the same config,
+ * run both to T2 — and the Totals, the full stats-registry JSON and
+ * the packet-lifecycle trace are bit-identical to the uninterrupted
+ * run. Covered for the DDIO baseline, the full IDIO policy and the
+ * L2Fwd (TX-completion) workload at a mid-burst T, plus the
+ * warm-start fork mode the fig14 threshold sweep uses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hh"
+#include "harness/system.hh"
+#include "harness/trace_artifacts.hh"
+#include "stats/json.hh"
+#include "trace/chrome_export.hh"
+
+namespace
+{
+
+constexpr sim::Tick quantum = 10 * sim::oneUs;
+constexpr sim::Tick ckptTick = 2 * quantum;  // mid-burst
+constexpr sim::Tick endTick = 20 * quantum;
+
+harness::ExperimentConfig
+burstConfig(idio::Policy policy, harness::NfKind kind)
+{
+    harness::ExperimentConfig cfg;
+    cfg.numNfs = 2;
+    cfg.nfKind = kind;
+    cfg.traffic = harness::TrafficKind::Bursty;
+    cfg.rateGbps = 100.0;
+    cfg.burstPeriod = 10 * sim::oneSec; // one burst
+    cfg.nic.ringSize = 256;
+    cfg.applyPolicy(policy);
+    return cfg;
+}
+
+std::string
+statsJson(harness::TestSystem &sys)
+{
+    std::ostringstream os;
+    stats::writeJson(os, sys.simulation().statsRegistry());
+    return os.str();
+}
+
+/** Run cold to T2, checkpointing at T on the way through. */
+void
+expectRoundTripIdentical(const harness::ExperimentConfig &cfg)
+{
+    harness::TestSystem cold(cfg);
+    cold.start();
+    cold.runFor(ckptTick);
+    const auto blob = cold.checkpoint();
+    ASSERT_FALSE(blob.empty());
+    const harness::Totals atCkpt = cold.totals();
+    cold.runFor(endTick - ckptTick);
+    const harness::Totals want = cold.totals();
+    const std::string wantJson = statsJson(cold);
+
+    harness::TestSystem warm(cfg);
+    warm.start();
+    warm.restore(blob);
+    EXPECT_EQ(warm.simulation().now(), ckptTick);
+    EXPECT_EQ(warm.totals(), atCkpt);
+    warm.runFor(endTick - ckptTick);
+
+    EXPECT_EQ(warm.totals(), want);
+    EXPECT_EQ(statsJson(warm), wantJson);
+}
+
+TEST(CkptRoundTrip, DdioTouchDropMidBurst)
+{
+    expectRoundTripIdentical(
+        burstConfig(idio::Policy::Ddio, harness::NfKind::TouchDrop));
+}
+
+TEST(CkptRoundTrip, IdioTouchDropMidBurst)
+{
+    expectRoundTripIdentical(
+        burstConfig(idio::Policy::Idio, harness::NfKind::TouchDrop));
+}
+
+TEST(CkptRoundTrip, IdioL2FwdMidBurst)
+{
+    expectRoundTripIdentical(
+        burstConfig(idio::Policy::Idio, harness::NfKind::L2Fwd));
+}
+
+TEST(CkptRoundTrip, IdioCopyTouchDropMidBurst)
+{
+    expectRoundTripIdentical(burstConfig(
+        idio::Policy::Idio, harness::NfKind::CopyTouchDrop));
+}
+
+TEST(CkptRoundTrip, SaveIsObservationallyPure)
+{
+    // Saving must only read state: a run that checkpoints mid-burst
+    // matches one that never does.
+    const auto cfg =
+        burstConfig(idio::Policy::Idio, harness::NfKind::TouchDrop);
+
+    harness::TestSystem plain(cfg);
+    plain.start();
+    plain.runFor(endTick);
+
+    harness::TestSystem saver(cfg);
+    saver.start();
+    saver.runFor(ckptTick);
+    (void)saver.checkpoint();
+    saver.runFor(endTick - ckptTick);
+
+    EXPECT_EQ(saver.totals(), plain.totals());
+    EXPECT_EQ(statsJson(saver), statsJson(plain));
+}
+
+TEST(CkptRoundTrip, TraceIsIdenticalAfterRestore)
+{
+    const auto cfg =
+        burstConfig(idio::Policy::Idio, harness::NfKind::TouchDrop);
+
+    const std::string coldPath =
+        ::testing::TempDir() + "/ckpt_cold_trace.json";
+    const std::string warmPath =
+        ::testing::TempDir() + "/ckpt_warm_trace.json";
+
+    harness::TestSystem cold(cfg);
+    harness::enableTracing(cold);
+    cold.start();
+    cold.runFor(ckptTick);
+    const auto blob = cold.checkpoint();
+    cold.runFor(endTick - ckptTick);
+    ASSERT_TRUE(trace::writeChromeTrace(coldPath,
+                                        cold.simulation().tracer()));
+
+    harness::TestSystem warm(cfg);
+    harness::enableTracing(warm);
+    warm.start();
+    warm.restore(blob);
+    warm.runFor(endTick - ckptTick);
+    ASSERT_TRUE(trace::writeChromeTrace(warmPath,
+                                        warm.simulation().tracer()));
+
+    // The tracer section replays the pre-T retained events and the
+    // post-T suffix is re-generated live, so the whole file matches.
+    std::ifstream a(coldPath), b(warmPath);
+    const std::string coldTrace(
+        (std::istreambuf_iterator<char>(a)),
+        std::istreambuf_iterator<char>());
+    const std::string warmTrace(
+        (std::istreambuf_iterator<char>(b)),
+        std::istreambuf_iterator<char>());
+    ASSERT_FALSE(coldTrace.empty());
+    EXPECT_EQ(coldTrace, warmTrace);
+}
+
+TEST(CkptRoundTrip, FileRoundTripMatchesInMemory)
+{
+    const auto cfg =
+        burstConfig(idio::Policy::Idio, harness::NfKind::TouchDrop);
+    const std::string path = ::testing::TempDir() + "/roundtrip.ckpt";
+
+    harness::TestSystem cold(cfg);
+    cold.start();
+    cold.runFor(ckptTick);
+    ckpt::saveToFile(path, cold.simulation());
+    cold.runFor(endTick - ckptTick);
+
+    harness::TestSystem warm(cfg);
+    warm.start();
+    ckpt::restoreFromFile(path, warm.simulation());
+    warm.runFor(endTick - ckptTick);
+
+    EXPECT_EQ(warm.totals(), cold.totals());
+    EXPECT_EQ(statsJson(warm), statsJson(cold));
+}
+
+TEST(CkptRoundTrip, SeedMismatchIsFatal)
+{
+    auto cfg =
+        burstConfig(idio::Policy::Ddio, harness::NfKind::TouchDrop);
+    harness::TestSystem sys(cfg);
+    sys.start();
+    sys.runFor(ckptTick);
+    const auto blob = sys.checkpoint();
+
+    cfg.seed = 99;
+    harness::TestSystem other(cfg);
+    other.start();
+    EXPECT_EXIT(other.restore(blob), ::testing::ExitedWithCode(1),
+                "seed");
+}
+
+/**
+ * Warm-start fork gate (the fig14 --warm-start mode): one warm-up
+ * under the first threshold's config, then each threshold forks from
+ * the restored state — and matches its own cold run bit for bit,
+ * because during the warm window the measured writeback rate is
+ * either zero or far above every swept threshold, so the controller
+ * makes identical decisions whatever the threshold.
+ */
+TEST(CkptWarmFork, ThresholdFamilyMatchesColdRuns)
+{
+    auto thrConfig = [](double thr) {
+        auto cfg = burstConfig(idio::Policy::Idio,
+                               harness::NfKind::TouchDrop);
+        cfg.idio.mlcThrMtps = thr;
+        return cfg;
+    };
+
+    // Shared warm-up under the first threshold.
+    harness::TestSystem warmup(thrConfig(10.0));
+    warmup.start();
+    warmup.runFor(ckptTick);
+    const auto blob = warmup.checkpoint();
+
+    for (double thr : {10.0, 50.0, 100.0}) {
+        const auto cfg = thrConfig(thr);
+
+        harness::TestSystem cold(cfg);
+        cold.start();
+        cold.runFor(endTick);
+
+        harness::TestSystem fork(cfg);
+        fork.start();
+        fork.restore(blob);
+        fork.runFor(endTick - ckptTick);
+
+        EXPECT_EQ(fork.totals(), cold.totals())
+            << "thr=" << thr << " diverged from its cold run";
+        EXPECT_EQ(statsJson(fork), statsJson(cold)) << "thr=" << thr;
+    }
+}
+
+} // anonymous namespace

@@ -10,7 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <stdexcept>
+#include <string>
 
 #include "harness/sweep.hh"
 #include "harness/system.hh"
@@ -113,6 +115,92 @@ TEST(SweepRunner, TaskExceptionPropagates)
                        return v;
                    }),
         std::runtime_error);
+}
+
+TEST(SweepRunner, SerialThrowStopsAtFirstFailingItem)
+{
+    // The serial path (jobs<=1) runs in-place with no capture layer:
+    // the failing item's exception propagates immediately and no
+    // later item runs.
+    harness::SweepRunner runner(1);
+    std::vector<int> items = {0, 1, 2, 3, 4, 5, 6, 7};
+    std::vector<int> executed;
+    try {
+        runner.map(items, [&](const int &v) -> int {
+            executed.push_back(v);
+            if (v == 3)
+                throw std::runtime_error("item 3 failed");
+            return v;
+        });
+        FAIL() << "expected the task exception to propagate";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "item 3 failed");
+    }
+    EXPECT_EQ(executed, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(SweepRunner, ParallelRethrowsFirstErrorAfterAllJoin)
+{
+    // The parallel path captures the first exception (by completion
+    // order) and rethrows it only after every worker joined — so all
+    // remaining items still execute.
+    harness::SweepRunner runner(4);
+    std::vector<int> items(32);
+    for (int i = 0; i < 32; ++i)
+        items[i] = i;
+
+    std::atomic<int> executed{0};
+    try {
+        runner.map(items, [&](const int &v) -> int {
+            executed.fetch_add(1);
+            if (v == 5)
+                throw std::runtime_error("item 5 failed");
+            return v;
+        });
+        FAIL() << "expected the task exception to propagate";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "item 5 failed");
+    }
+    EXPECT_EQ(executed.load(), 32);
+}
+
+TEST(SweepRunner, ParallelAllThrowPropagatesExactlyOneOfThem)
+{
+    harness::SweepRunner runner(4);
+    std::vector<int> items = {10, 11, 12, 13, 14, 15};
+    try {
+        runner.map(items, [](const int &v) -> int {
+            throw std::runtime_error("item " + std::to_string(v));
+        });
+        FAIL() << "expected a task exception to propagate";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        ASSERT_EQ(what.rfind("item 1", 0), 0u) << what;
+        const int id = std::stoi(what.substr(5));
+        EXPECT_GE(id, 10);
+        EXPECT_LE(id, 15);
+    }
+}
+
+TEST(SweepRunner, RunnerIsReusableAfterThrow)
+{
+    // A throw must not poison the runner: the next map() call fills
+    // every result slot (results start default-constructed and each
+    // successful task overwrites its own).
+    harness::SweepRunner runner(4);
+    std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+
+    EXPECT_THROW(runner.map(items,
+                            [](const int &) -> int {
+                                throw std::runtime_error("boom");
+                            }),
+                 std::runtime_error);
+
+    const auto out =
+        runner.map(items, [](const int &v) { return v * 10; });
+    ASSERT_EQ(out.size(), items.size());
+    for (std::size_t i = 0; i < items.size(); ++i)
+        EXPECT_EQ(out[i], items[i] * 10);
 }
 
 } // anonymous namespace

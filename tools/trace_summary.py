@@ -132,12 +132,23 @@ def print_table(title: str, rows: list[tuple[str, str]]) -> None:
         print(f"  {label:<{width}}  {value}")
 
 
+# Sidecar format version this script understands (kept in sync with
+# harness::totalsFormatVersion in src/harness/trace_artifacts.hh).
+TOTALS_FORMAT_VERSION = 1
+
+
 def check_totals(counts: Counter, sidecar_path: str,
                  dropped: int) -> int:
     with open(sidecar_path) as fh:
         totals = json.load(fh)
 
     failures = 0
+    version = totals.get("formatVersion")
+    if version != TOTALS_FORMAT_VERSION:
+        print(f"FAIL sidecar formatVersion={version!r}; this script "
+              f"understands version {TOTALS_FORMAT_VERSION} "
+              "(regenerate the sidecar or update the tool)")
+        failures += 1
     if dropped:
         print(f"FAIL ring truncation: {dropped} events were "
               "overwritten; counts cannot be cross-checked "
