@@ -57,6 +57,14 @@ namespace bench
  *   --warm-start (benches that support it) run the shared warm-up
  *               once, checkpoint in memory and fork each sweep case
  *               from the restored state.
+ *   --cores=N   scale every case to an N-core socket (N NF cores and,
+ *               unless --rx-queues says otherwise, N RX queues with
+ *               RSS/RETA steering over a synthetic flow population).
+ *   --rx-queues=N use N RX rings on the shared port (0 keeps the
+ *               legacy one-port-per-NF layout).
+ *   --sharded-jobs=N drive each system through the sharded
+ *               conservative-window executor with N worker threads
+ *               (results stay bit-identical to the unsharded build).
  */
 struct BenchOptions
 {
@@ -67,7 +75,32 @@ struct BenchOptions
     std::string checkpointPath;
     std::string restorePath;
     bool warmStart = false;
+    std::uint32_t cores = 0;
+    std::uint32_t rxQueues = 0;
+    unsigned shardedJobs = 0;
 };
+
+/**
+ * Apply the --cores / --rx-queues / --sharded-jobs topology options
+ * to one config. --cores implies a multi-queue port (rxQueues =
+ * cores) unless --rx-queues overrides it.
+ */
+inline void
+applyTopology(harness::ExperimentConfig &cfg, const BenchOptions &opts)
+{
+    if (opts.cores) {
+        cfg.numNfs = opts.cores;
+        cfg.rxQueues = opts.rxQueues ? opts.rxQueues : opts.cores;
+    } else if (opts.rxQueues) {
+        cfg.rxQueues = opts.rxQueues;
+    }
+    if (cfg.rxQueues && cfg.totalFlows == 0)
+        cfg.totalFlows = 1u << 16;
+    if (opts.shardedJobs) {
+        cfg.sharded = true;
+        cfg.shardJobs = opts.shardedJobs;
+    }
+}
 
 inline BenchOptions
 parseBenchOptions(int argc, char **argv)
@@ -91,6 +124,15 @@ parseBenchOptions(int argc, char **argv)
             opts.restorePath = arg.substr(10);
         } else if (arg == "--warm-start") {
             opts.warmStart = true;
+        } else if (arg.rfind("--cores=", 0) == 0) {
+            opts.cores = static_cast<std::uint32_t>(
+                std::strtoul(arg.c_str() + 8, nullptr, 10));
+        } else if (arg.rfind("--rx-queues=", 0) == 0) {
+            opts.rxQueues = static_cast<std::uint32_t>(
+                std::strtoul(arg.c_str() + 12, nullptr, 10));
+        } else if (arg.rfind("--sharded-jobs=", 0) == 0) {
+            opts.shardedJobs = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 15, nullptr, 10));
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: %s [--jobs=N] [--json=FILE] [--trace=FILE]\n"
@@ -107,7 +149,13 @@ parseBenchOptions(int argc, char **argv)
                 "  --restore=FILE start the first case from FILE "
                 "(bit-identical resume)\n"
                 "  --warm-start fork sweep cases from one shared "
-                "warm-up (where supported)\n",
+                "warm-up (where supported)\n"
+                "  --cores=N   scale cases to an N-core socket "
+                "(implies --rx-queues=N)\n"
+                "  --rx-queues=N multi-queue RX rings with RSS "
+                "steering (0 = legacy layout)\n"
+                "  --sharded-jobs=N run each system on the sharded "
+                "executor with N threads\n",
                 argv[0], harness::SweepRunner::hardwareJobs());
             std::exit(0);
         } else {
@@ -268,8 +316,7 @@ runSingleBurst(const harness::ExperimentConfig &config,
         m.firstArrival = warm->firstArrival;
     }
 
-    const std::uint64_t expected =
-        std::uint64_t(cfg.effectiveBurstPackets()) * cfg.numNfs;
+    const std::uint64_t expected = cfg.expectedBurstTotal();
 
     bool saved = opts.checkpointPath.empty();
     while (sys.simulation().now() < opts.limit) {
@@ -416,6 +463,19 @@ applySeed(std::vector<SweepCase> &cases, const BenchOptions &opts)
 }
 
 /**
+ * Apply every per-case option override (--seed and the
+ * --cores/--rx-queues/--sharded-jobs topology) to a sweep's cases.
+ */
+inline void
+applyCaseOptions(std::vector<SweepCase> &cases,
+                 const BenchOptions &opts)
+{
+    applySeed(cases, opts);
+    for (auto &c : cases)
+        applyTopology(c.cfg, opts);
+}
+
+/**
  * Run every case through @p fn on @p jobs threads (SweepRunner) and
  * return metrics in case order.
  */
@@ -449,7 +509,7 @@ inline std::vector<RunMetrics>
 runSweepSingleBurst(std::vector<SweepCase> &cases,
                     const BenchOptions &opts)
 {
-    applySeed(cases, opts);
+    applyCaseOptions(cases, opts);
     harness::SweepRunner runner(opts.jobs);
     const SweepCase *first = cases.data();
     return runner.map(cases, [&](const SweepCase &c) {

@@ -65,7 +65,7 @@ main(int argc, char **argv)
         }
     }
 
-    bench::applySeed(cases, opts);
+    bench::applyCaseOptions(cases, opts);
     const auto results = bench::runSweep(cases, opts.jobs, measure);
     bench::JsonReport report(opts.jsonPath, "fig12", opts.jobs);
     for (std::size_t i = 0; i < cases.size(); ++i)

@@ -54,7 +54,7 @@ main(int argc, char **argv)
         // swept values, which happens well after the burst head — so
         // every fork is bit-identical to its cold run. The DDIO
         // baseline is a different policy and runs cold.
-        bench::applySeed(cases, opts);
+        bench::applyCaseOptions(cases, opts);
         std::printf("# warm-start: thr family forked from one "
                     "%llu us warm-up\n\n",
                     (unsigned long long)sim::ticksToUs(

@@ -8,6 +8,11 @@
  *  - event-queue one-shot schedule/fire throughput,
  *  - deschedule/compaction churn throughput,
  *  - cache-hierarchy streaming-miss and PCIe-write throughput,
+ *  - the headline simulated-packets-per-wall-second rate of a default
+ *    single-burst run,
+ *  - a 32-core / 32-RX-queue scaled run, unsharded vs sharded, with a
+ *    byte-identical determinism check (stats JSON + event trace) of
+ *    the sharded executor across worker counts,
  *  - a fig10-style config sweep run serially and on a thread pool,
  *    with a bit-identical-results determinism check.
  *
@@ -16,14 +21,17 @@
  * tools/bench_compare.py in CI. Wall-clock numbers are only comparable
  * across runs on similar hosts; `hw_threads` records how parallel the
  * sweep could actually go (the speedup criterion needs a multi-core
- * host).
+ * host — on a single-thread host it is skipped with a notice).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <sstream>
 
 #include "common.hh"
 #include "sim/event_queue.hh"
+#include "trace/chrome_export.hh"
 
 namespace
 {
@@ -127,6 +135,80 @@ microCachePcieWrite(std::uint64_t ops)
     return MicroResult{"cachePcieWrite", ops, secondsSince(start)};
 }
 
+/** One timed full-system burst: packets drained per wall second. */
+struct PacketRate
+{
+    std::uint64_t packets = 0;
+    double wallSec = 0;
+
+    double
+    perSec() const
+    {
+        return wallSec > 0 ? double(packets) / wallSec : 0;
+    }
+};
+
+/**
+ * Run one single-burst experiment wall-clocked; optionally capture
+ * the run's stats JSON and event trace for byte-compare (capture
+ * uses small per-source trace rings so a 32-core system stays cheap,
+ * and is kept out of the timed runs).
+ */
+PacketRate
+timedBurst(const harness::ExperimentConfig &config,
+           std::string *statsOut = nullptr,
+           std::string *traceOut = nullptr)
+{
+    harness::ExperimentConfig cfg = config;
+    cfg.traffic = harness::TrafficKind::Bursty;
+    cfg.burstPeriod = 10 * sim::oneSec; // one burst
+
+    harness::TestSystem sys(cfg);
+    if (traceOut != nullptr)
+        harness::enableTracing(sys, 1u << 14);
+    sys.start();
+
+    const std::uint64_t expected = cfg.expectedBurstTotal();
+    const auto start = Clock::now();
+    while (sys.simulation().now() < 50 * sim::oneMs) {
+        sys.runFor(bench::burstQuantum);
+        const auto t = sys.totals();
+        if (t.processedPackets + t.rxDrops >= expected &&
+            t.rxPackets >= expected) {
+            break;
+        }
+    }
+    PacketRate r{sys.totals().processedPackets, secondsSince(start)};
+
+    if (statsOut != nullptr) {
+        std::ostringstream os;
+        stats::writeJson(os, sys.simulation().statsRegistry());
+        *statsOut = os.str();
+    }
+    if (traceOut != nullptr) {
+        std::ostringstream os;
+        trace::writeChromeTrace(os, sys.simulation().tracer());
+        *traceOut = os.str();
+    }
+    return r;
+}
+
+/** The paper-shape scaled machine: 32 cores, 32 RX queues, 1M flows. */
+harness::ExperimentConfig
+scaledConfig()
+{
+    harness::ExperimentConfig cfg;
+    cfg.numNfs = 32;
+    cfg.rxQueues = 32;
+    cfg.totalFlows = 1u << 20;
+    cfg.burstPackets = 8192; // cap the burst so the smoke stays fast
+    cfg.nfKind = harness::NfKind::TouchDrop;
+    cfg.rateGbps = 100.0;
+    cfg.nic.ringSize = 256;
+    cfg.applyPolicy(idio::Policy::Idio);
+    return cfg;
+}
+
 /** The fig10-style sweep the parallel runner is judged on. */
 std::vector<bench::SweepCase>
 sweepCases()
@@ -166,6 +248,15 @@ sameResults(const std::vector<bench::RunMetrics> &a,
     return true;
 }
 
+std::uint64_t
+sweepPackets(const std::vector<bench::RunMetrics> &rows)
+{
+    std::uint64_t sum = 0;
+    for (const auto &m : rows)
+        sum += m.totals.processedPackets;
+    return sum;
+}
+
 } // anonymous namespace
 
 int
@@ -174,10 +265,13 @@ main(int argc, char **argv)
     auto opts = bench::parseBenchOptions(argc, argv);
     if (opts.jsonPath.empty())
         opts.jsonPath = "BENCH_perf.json";
-    // The smoke always contrasts a serial sweep with a parallel one;
-    // default to the 8 jobs the acceptance bar uses.
-    const unsigned sweepJobs = opts.jobs > 1 ? opts.jobs : 8;
     const unsigned hwThreads = harness::SweepRunner::hardwareJobs();
+    // The smoke always contrasts a serial sweep with a parallel one.
+    // More workers than hardware threads would only measure context
+    // switching (SweepRunner clamps anyway), so cap the request.
+    const unsigned sweepJobs =
+        std::max(1u, std::min(opts.jobs > 1 ? opts.jobs : 8u,
+                              hwThreads));
 
     std::printf("=== perf_smoke: simulator host-side performance ===\n");
     std::printf("host threads: %u, sweep jobs: %u\n\n", hwThreads,
@@ -194,6 +288,50 @@ main(int argc, char **argv)
                     m.nsPerOp(), m.opsPerSec());
     }
 
+    // Headline metric: simulated packets retired per wall second on
+    // the default 2-core single-burst config.
+    harness::ExperimentConfig defaultCfg;
+    defaultCfg.numNfs = 2;
+    defaultCfg.nfKind = harness::NfKind::TouchDrop;
+    defaultCfg.rateGbps = 100.0;
+    defaultCfg.applyPolicy(idio::Policy::Idio);
+    if (opts.seed)
+        defaultCfg.seed = *opts.seed;
+    const PacketRate single = timedBurst(defaultCfg);
+    std::printf("\nsingle run: %llu packets in %.3f s  "
+                "(%.0f packets/wall-sec)\n",
+                (unsigned long long)single.packets, single.wallSec,
+                single.perSec());
+
+    // Scaled machine: the paper's 32-core shape. Timed unsharded and
+    // sharded, plus a byte-identity check of the sharded executor
+    // across worker counts (stats JSON + full event trace).
+    auto scaled = scaledConfig();
+    if (opts.seed)
+        scaled.seed = *opts.seed;
+    const PacketRate scaledPlain = timedBurst(scaled);
+
+    auto scaledSharded = scaled;
+    scaledSharded.sharded = true;
+    scaledSharded.shardJobs = std::max(2u, std::min(hwThreads, 4u));
+    const PacketRate scaledShardedRate = timedBurst(scaledSharded);
+
+    std::string statsJ1, statsJ2, traceJ1, traceJ2;
+    scaledSharded.shardJobs = 1;
+    timedBurst(scaledSharded, &statsJ1, &traceJ1);
+    scaledSharded.shardJobs = 2;
+    timedBurst(scaledSharded, &statsJ2, &traceJ2);
+    const bool shardedDeterministic =
+        !statsJ1.empty() && statsJ1 == statsJ2 && traceJ1 == traceJ2;
+
+    std::printf("scaled 32-core: unsharded %.0f packets/wall-sec, "
+                "sharded %.0f packets/wall-sec\n",
+                scaledPlain.perSec(), scaledShardedRate.perSec());
+    std::printf("sharded deterministic: %s\n",
+                shardedDeterministic
+                    ? "yes (stats+trace byte-identical across jobs)"
+                    : "NO");
+
     auto cases = sweepCases();
     bench::applySeed(cases, opts);
     std::printf("\nsweep: %zu fig10-style configs\n", cases.size());
@@ -208,11 +346,16 @@ main(int argc, char **argv)
 
     const bool deterministic = sameResults(serial, parallel);
     const double speedup = parallelSec > 0 ? serialSec / parallelSec : 0;
+    const std::uint64_t packets = sweepPackets(serial);
 
     std::printf("jobs=1:  %.3f s\njobs=%u: %.3f s  (speedup %.2fx)\n",
                 serialSec, sweepJobs, parallelSec, speedup);
     std::printf("deterministic: %s\n",
                 deterministic ? "yes (bit-identical totals)" : "NO");
+    if (hwThreads == 1) {
+        std::printf("NOTICE: single hardware thread — parallel "
+                    "speedup is unmeasurable on this host\n");
+    }
 
     {
         std::ofstream ofs(opts.jsonPath);
@@ -232,11 +375,31 @@ main(int argc, char **argv)
             w.end();
         }
         w.end();
+        w.beginObject("single_run");
+        w.field("packets", single.packets);
+        w.field("wallSec", single.wallSec);
+        w.field("packets_per_wall_sec", single.perSec());
+        w.end();
+        w.beginObject("scaled");
+        w.field("cores", std::uint64_t(32));
+        w.field("rx_queues", std::uint64_t(32));
+        w.field("flows", std::uint64_t(1u << 20));
+        w.field("packets", scaledPlain.packets);
+        w.field("packets_per_wall_sec", scaledPlain.perSec());
+        w.field("sharded_packets_per_wall_sec",
+                scaledShardedRate.perSec());
+        w.field("sharded_deterministic", shardedDeterministic);
+        w.end();
         w.beginObject("sweep");
         w.field("configs", std::uint64_t(cases.size()));
         w.field("jobs", sweepJobs);
+        w.field("packets", packets);
         w.field("serialWallSec", serialSec);
         w.field("parallelWallSec", parallelSec);
+        w.field("packets_per_wall_sec_serial",
+                serialSec > 0 ? double(packets) / serialSec : 0);
+        w.field("packets_per_wall_sec_parallel",
+                parallelSec > 0 ? double(packets) / parallelSec : 0);
         w.field("speedup", speedup);
         w.field("deterministic", deterministic);
         w.end();
@@ -245,7 +408,8 @@ main(int argc, char **argv)
     }
     std::printf("\nwrote %s\n", opts.jsonPath.c_str());
 
-    // Determinism is a hard failure; the parallel speedup is judged
-    // only where the host can actually run threads in parallel.
-    return deterministic ? 0 : 1;
+    // Determinism (sweep and sharded executor) is a hard failure; the
+    // parallel speedup is judged only where the host can actually run
+    // threads in parallel.
+    return (deterministic && shardedDeterministic) ? 0 : 1;
 }

@@ -59,7 +59,7 @@ namespace ckpt
 {
 
 /** Whole-file format version; bumped on any layout change. */
-constexpr std::uint32_t formatVersion = 1;
+constexpr std::uint32_t formatVersion = 2;
 
 /** File magic, first 8 bytes of every checkpoint. */
 constexpr std::array<char, 8> magic = {'I', 'D', 'I', 'O',

@@ -11,9 +11,15 @@ namespace dpdk
 {
 
 RxQueue::RxQueue(cpu::Core &core, nic::Nic &port, Mempool &pool,
-                 const PmdConfig &config)
+                 const PmdConfig &config, std::uint32_t queueIdx)
     : core(core), nicPort(port), pool(pool), cfg(config),
-      trc(port.tracer().registerSource(port.name() + ".pmd")),
+      qIdx(queueIdx),
+      // Queue 0 keeps the legacy source name so single-queue traces
+      // stay byte-identical; higher queues get a .q<N> suffix.
+      trc(port.tracer().registerSource(
+          queueIdx == 0
+              ? port.name() + ".pmd"
+              : port.name() + ".pmd.q" + std::to_string(queueIdx))),
       tailUpdateCost(sim::nsToTicks(config.tailUpdateNs))
 {
 }
@@ -21,7 +27,7 @@ RxQueue::RxQueue(cpu::Core &core, nic::Nic &port, Mempool &pool,
 void
 RxQueue::initialArm()
 {
-    nic::RxRing &ring = nicPort.rxRing();
+    nic::RxRing &ring = nicPort.rxRing(qIdx);
     for (std::uint32_t i = 0; i < ring.size(); ++i) {
         const std::uint32_t idx = pool.alloc();
         if (idx == invalidMbuf)
@@ -34,7 +40,7 @@ RxQueue::initialArm()
 PollResult
 RxQueue::pollBurst()
 {
-    nic::RxRing &ring = nicPort.rxRing();
+    nic::RxRing &ring = nicPort.rxRing(qIdx);
     PollResult res;
 
     if (!ring.swReady()) {
@@ -70,7 +76,7 @@ RxQueue::pollBurst()
 sim::Tick
 RxQueue::refill()
 {
-    nic::RxRing &ring = nicPort.rxRing();
+    nic::RxRing &ring = nicPort.rxRing(qIdx);
     sim::Tick lat = 0;
     bool armedAny = false;
 

@@ -55,8 +55,13 @@ struct PollResult
 class RxQueue
 {
   public:
+    /**
+     * @param queueIdx RX queue of @p port this PMD polls (multi-queue
+     *                 ports pair one RxQueue per ring; default 0 is
+     *                 the legacy single-ring binding).
+     */
     RxQueue(cpu::Core &core, nic::Nic &port, Mempool &pool,
-            const PmdConfig &config = {});
+            const PmdConfig &config = {}, std::uint32_t queueIdx = 0);
 
     /**
      * Arm every descriptor with a fresh buffer (driver start-up).
@@ -79,6 +84,9 @@ class RxQueue
     Mempool &mempool() { return pool; }
     nic::Nic &port() { return nicPort; }
 
+    /** RX queue index this PMD is bound to. */
+    std::uint32_t queueIndex() const { return qIdx; }
+
     /** Descriptors waiting to be re-armed. */
     std::uint32_t pendingRefill() const { return toRefill; }
 
@@ -95,6 +103,7 @@ class RxQueue
     nic::Nic &nicPort;
     Mempool &pool;
     PmdConfig cfg;
+    std::uint32_t qIdx;
     trace::Source trc;
     std::uint32_t armNext = 0; ///< next ring index to re-arm
     std::uint32_t toRefill = 0;

@@ -37,8 +37,12 @@ TrafficSource::TrafficSource(sim::Simulation &simulation,
       bytesSent(statGroup, "bytesSent", "bytes generated"),
       port(nicPort), cfg(config)
 {
-    if (needsFlows && cfg.flows.empty())
+    if (needsFlows && cfg.flows.empty() && cfg.synthFlows == 0)
         sim::fatal("traffic source '%s' has no flows", name.c_str());
+    if (!cfg.flows.empty() && cfg.synthFlows != 0)
+        sim::fatal("traffic source '%s' mixes explicit and synthetic "
+                   "flows",
+                   name.c_str());
 }
 
 TrafficSource::~TrafficSource() = default;
@@ -85,12 +89,17 @@ TrafficSource::unserialize(ckpt::Deserializer &d)
 void
 TrafficSource::emitPacket()
 {
-    const FlowSpec &spec = cfg.flows[nextFlow];
-    nextFlow = (nextFlow + 1) % cfg.flows.size();
-
     net::Packet pkt;
-    pkt.flow = spec.tuple;
-    pkt.dscp = spec.dscp;
+    if (cfg.synthFlows != 0) {
+        pkt.flow = synthFlowTuple(nextFlow, cfg.synthBasePort);
+        pkt.dscp = cfg.synthDscp;
+        nextFlow = (nextFlow + 1) % cfg.synthFlows;
+    } else {
+        const FlowSpec &spec = cfg.flows[nextFlow];
+        nextFlow = (nextFlow + 1) % cfg.flows.size();
+        pkt.flow = spec.tuple;
+        pkt.dscp = spec.dscp;
+    }
     pkt.frameBytes = cfg.frameBytes;
     pkt.seq = seq++;
     pkt.genTime = now();
@@ -291,6 +300,28 @@ TraceTrafficGen::unserialize(ckpt::Deserializer &d)
     TrafficSource::unserialize(d);
     next = static_cast<std::size_t>(d.readU64());
     epoch = d.readTick();
+}
+
+net::FiveTuple
+synthFlowTuple(std::uint64_t idx, std::uint16_t basePort)
+{
+    // splitmix64 finaliser: a cheap, well-distributed pure function of
+    // the flow index.
+    std::uint64_t z = idx + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+
+    net::FiveTuple t;
+    t.srcIp = 0x0a000000u |
+              static_cast<std::uint32_t>(z & 0xffffffu); // 10.x.x.x
+    t.dstIp = 0xc0a80000u |
+              static_cast<std::uint32_t>((z >> 24) & 0xffffu); // 192.168
+    t.srcPort =
+        static_cast<std::uint16_t>(1024 + ((z >> 40) & 0x7fff));
+    t.dstPort = basePort;
+    t.proto = net::IpProto::Udp;
+    return t;
 }
 
 std::vector<FlowSpec>

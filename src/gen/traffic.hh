@@ -43,9 +43,32 @@ struct TrafficConfig
     /** Flows cycled round-robin; must not be empty. */
     std::vector<FlowSpec> flows;
 
+    /**
+     * Synthetic flow population: when non-zero, the generator cycles
+     * @c synthFlows procedurally generated flows (see synthFlowTuple)
+     * instead of the explicit @c flows list. This is how million-flow
+     * RSS experiments stay affordable — no per-flow FlowSpec storage.
+     */
+    std::uint64_t synthFlows = 0;
+
+    /** Destination port of every synthetic flow. */
+    std::uint16_t synthBasePort = 5000;
+
+    /** DSCP marking of every synthetic flow. */
+    std::uint8_t synthDscp = 0;
+
     /** Stop generating at this tick (maxTick = never). */
     sim::Tick stopAt = sim::maxTick;
 };
+
+/**
+ * The i-th synthetic flow: a UDP 5-tuple whose addresses and source
+ * port are a splitmix64 mix of @p idx, so consecutive indices spread
+ * uniformly over the Toeplitz hash space (as a real many-client load
+ * does) while remaining a pure deterministic function of the index.
+ */
+net::FiveTuple synthFlowTuple(std::uint64_t idx,
+                              std::uint16_t basePort = 5000);
 
 /**
  * Base class: owns the target NIC, flow rotation, and counters.

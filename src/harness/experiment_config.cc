@@ -43,14 +43,28 @@ ExperimentConfig::summary() const
       case TrafficKind::None:
         break;
     }
-    char buf[256];
+    char buf[320];
     std::snprintf(buf, sizeof(buf),
                   "%ux %s, policy=%s, ring=%u, pkt=%uB, %s @ %.0f Gbps%s",
                   numNfs, nfKindName(nfKind),
                   idio::policyName(idio.policy), nic.ringSize,
                   frameBytes, trafficName, rateGbps,
                   withAntagonist ? ", +LLCAntagonist" : "");
-    return buf;
+    std::string out = buf;
+    if (multiQueue()) {
+        std::snprintf(buf, sizeof(buf), ", rxq=%u, flows=%llu",
+                      rxQueues,
+                      static_cast<unsigned long long>(
+                          totalFlows
+                              ? totalFlows
+                              : std::uint64_t(flowsPerNf) * numNfs));
+        out += buf;
+    }
+    if (sharded) {
+        std::snprintf(buf, sizeof(buf), ", sharded(j%u)", shardJobs);
+        out += buf;
+    }
+    return out;
 }
 
 } // namespace harness

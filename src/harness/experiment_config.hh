@@ -74,6 +74,42 @@ struct ExperimentConfig
     NfKind nfKind = NfKind::TouchDrop;
     bool withAntagonist = false;
 
+    /**
+     * RX queues on one shared NIC port (0 = legacy layout: one
+     * single-queue port per NF). When set, it must equal numNfs: the
+     * system builds one multi-queue port whose flow director steers
+     * packets across per-core rings via the RSS indirection table,
+     * and NF i polls queue i. This is the paper's actual many-core
+     * machine shape (one 100G port, per-core rings).
+     */
+    std::uint32_t rxQueues = 0;
+
+    /** RETA entries for the multi-queue port (power of two). */
+    std::uint32_t rssTableEntries = 128;
+
+    /**
+     * Total flow population for the multi-queue layout (0 = legacy
+     * flowsPerNf * numNfs). Flows are synthesized procedurally, so
+     * millions are affordable; steering is pure RSS (no EP rules).
+     */
+    std::uint64_t totalFlows = 0;
+    /** @} */
+
+    /** @{ Sharded execution (src/sim/shard). */
+
+    /** Drive the run through a ShardedExecutor over the domain plan. */
+    bool sharded = false;
+
+    /** Host threads for conflict-group execution. */
+    unsigned shardJobs = 1;
+
+    /**
+     * Conservative window width, ns, used when the resolved plan has
+     * no cross-group async edge to derive it from.
+     */
+    double shardWindowNs = 1000.0;
+    /** @} */
+
     /** MLC size of the antagonist core (paper: 256 KB). */
     std::uint64_t antagonistMlcBytes = 256 * 1024;
     /** @} */
@@ -130,11 +166,32 @@ struct ExperimentConfig
         nf.selfInvalidate = idio.selfInvalidate;
     }
 
-    /** Effective packets per burst. */
+    /** True when the run uses the one-port multi-queue layout. */
+    bool multiQueue() const { return rxQueues != 0; }
+
+    /** Effective packets per burst (per generator). */
     std::uint32_t
     effectiveBurstPackets() const
     {
-        return burstPackets ? burstPackets : nic.ringSize;
+        if (burstPackets)
+            return burstPackets;
+        // Paper rule: burst length = ring-size packets. The
+        // multi-queue layout has one generator feeding rxQueues
+        // rings, so the aggregate burst scales with the queue count.
+        return multiQueue() ? nic.ringSize * rxQueues : nic.ringSize;
+    }
+
+    /**
+     * Packets one burst delivers across the whole system: the legacy
+     * layout runs one generator per NF, the multi-queue layout one
+     * generator for the shared port.
+     */
+    std::uint64_t
+    expectedBurstTotal() const
+    {
+        return multiQueue()
+                   ? effectiveBurstPackets()
+                   : std::uint64_t(effectiveBurstPackets()) * numNfs;
     }
 
     /** One-line summary for bench output. */

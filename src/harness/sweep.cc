@@ -20,6 +20,15 @@ SweepRunner::hardwareJobs()
     return n ? n : 1;
 }
 
+unsigned
+SweepRunner::plannedWorkers(std::size_t count) const
+{
+    std::size_t w = std::min<std::size_t>(nJobs, count);
+    if (clampToHardware)
+        w = std::min<std::size_t>(w, hardwareJobs());
+    return static_cast<unsigned>(w);
+}
+
 void
 SweepRunner::runTasks(std::size_t count,
                       const std::function<void(std::size_t)> &task) const
@@ -27,8 +36,7 @@ SweepRunner::runTasks(std::size_t count,
     if (count == 0)
         return;
 
-    const unsigned workers = static_cast<unsigned>(
-        std::min<std::size_t>(nJobs, count));
+    const unsigned workers = plannedWorkers(count);
     if (workers <= 1) {
         for (std::size_t i = 0; i < count; ++i)
             task(i);

@@ -10,6 +10,12 @@
  * results. SweepRunner executes such a list on a small thread pool
  * and collects results in config order: the output of `map` is
  * bit-identical whatever the job count.
+ *
+ * The worker count is clamped to min(jobs, hardware threads, tasks):
+ * oversubscribing a low-thread host only adds context-switch overhead
+ * (we measured parallel sweeps *slower* than serial on a 1-CPU box),
+ * and a pool that would end up with one worker runs serially in-place
+ * instead of paying thread start-up for nothing.
  */
 
 #ifndef IDIO_HARNESS_SWEEP_HH
@@ -38,6 +44,13 @@ class SweepRunner
     unsigned jobs() const { return nJobs; }
 
     /**
+     * Worker threads that would actually run @p count tasks:
+     * min(jobs, hardware threads, count). A result <= 1 means the
+     * serial in-place path.
+     */
+    unsigned plannedWorkers(std::size_t count) const;
+
+    /**
      * Evaluate `fn(items[i])` for every item and return the results in
      * item order. The result type must be default-constructible.
      * Exceptions from tasks are captured; the first one (by completion
@@ -56,11 +69,30 @@ class SweepRunner
     }
 
   private:
+    friend struct SweepRunnerTestAccess;
+
     /** Run task(0..count-1), work-stealing via an atomic index. */
     void runTasks(std::size_t count,
                   const std::function<void(std::size_t)> &task) const;
 
     unsigned nJobs;
+    bool clampToHardware = true;
+};
+
+/**
+ * Test-only access to SweepRunner internals.
+ *
+ * The thread-pool unit tests (error propagation, work stealing) need
+ * a real multi-worker pool even on single-CPU CI hosts, so they
+ * disable the hardware clamp; production code must never touch this.
+ */
+struct SweepRunnerTestAccess
+{
+    static void
+    disableHardwareClamp(SweepRunner &r)
+    {
+        r.clampToHardware = false;
+    }
 };
 
 } // namespace harness

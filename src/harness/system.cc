@@ -5,6 +5,8 @@
 
 #include "system.hh"
 
+#include <algorithm>
+
 #include "cache/invariants.hh"
 #include "ckpt/checkpoint.hh"
 #include "nf/copy_touch_drop.hh"
@@ -54,12 +56,11 @@ TestSystem::TestSystem(const ExperimentConfig &config)
     nf::NfConfig nfCfg = cfg.nf;
     nfCfg.selfInvalidate = cfg.idio.selfInvalidate;
 
-    // One NIC port + mempool + PMD + NF per NF core.
-    for (std::uint32_t i = 0; i < cfg.numNfs; ++i) {
+    // One NF core's worth of compute + driver machinery, bound to
+    // ring `queue` of `port`.
+    auto buildNfPipeline = [&](std::uint32_t i, nic::Nic &port,
+                               std::uint32_t queue) {
         const std::string base = "system.nf" + std::to_string(i);
-
-        nics.push_back(std::make_unique<nic::Nic>(
-            sim_, base + ".nic", cfg.nic, *ctrl, alloc, numCores));
         cores.push_back(std::make_unique<cpu::Core>(
             sim_, base + ".core", i, *hier));
         pools.push_back(std::make_unique<dpdk::Mempool>(
@@ -67,7 +68,8 @@ TestSystem::TestSystem(const ExperimentConfig &config)
             dpdk::defaultBufBytes, /*invalidatable=*/true,
             cfg.recycleOrder));
         rxqs.push_back(std::make_unique<dpdk::RxQueue>(
-            *cores.back(), *nics.back(), *pools.back()));
+            *cores.back(), port, *pools.back(), dpdk::PmdConfig{},
+            queue));
 
         switch (cfg.nfKind) {
           case NfKind::TouchDrop:
@@ -88,24 +90,18 @@ TestSystem::TestSystem(const ExperimentConfig &config)
                 sim_, base, *cores.back(), *rxqs.back(), nfCfg));
             break;
         }
+    };
 
-        // Flows of this NF steer to core i via EP perfect-match rules.
-        std::uint8_t dscp = cfg.dscp;
-        if (cfg.nfKind == NfKind::L2FwdDropPayload && dscp < 32)
-            dscp = 40; // class-1 workload unless overridden
-        gen::TrafficConfig tc;
-        tc.frameBytes = cfg.frameBytes;
-        tc.flows = gen::makeFlows(
-            cfg.flowsPerNf,
-            static_cast<std::uint16_t>(5000 + 100 * i), dscp);
-        for (auto &f : tc.flows)
-            nics.back()->flowDirector().addRule(f.tuple, i);
+    std::uint8_t dscp = cfg.dscp;
+    if (cfg.nfKind == NfKind::L2FwdDropPayload && dscp < 32)
+        dscp = 40; // class-1 workload unless overridden
 
-        const std::string genName = base + ".gen";
+    auto buildGen = [&](const std::string &genName, nic::Nic &port,
+                        const gen::TrafficConfig &tc) {
         switch (cfg.traffic) {
           case TrafficKind::Steady:
             gens.push_back(std::make_unique<gen::SteadyTrafficGen>(
-                sim_, genName, *nics.back(), tc, cfg.rateGbps));
+                sim_, genName, port, tc, cfg.rateGbps));
             break;
           case TrafficKind::Bursty: {
             gen::BurstyTrafficGen::BurstParams bp;
@@ -113,15 +109,62 @@ TestSystem::TestSystem(const ExperimentConfig &config)
             bp.burstPackets = cfg.effectiveBurstPackets();
             bp.burstRateGbps = cfg.rateGbps;
             gens.push_back(std::make_unique<gen::BurstyTrafficGen>(
-                sim_, genName, *nics.back(), tc, bp));
+                sim_, genName, port, tc, bp));
             break;
           }
           case TrafficKind::Poisson:
             gens.push_back(std::make_unique<gen::PoissonTrafficGen>(
-                sim_, genName, *nics.back(), tc, cfg.rateGbps));
+                sim_, genName, port, tc, cfg.rateGbps));
             break;
           case TrafficKind::None:
             break; // externally driven (e.g. trace replay)
+        }
+    };
+
+    if (cfg.multiQueue()) {
+        // One shared port, a ring per NF core, RSS/RETA steering over
+        // a synthetic flow population (no EP rules): the paper's
+        // many-core machine shape.
+        if (cfg.rxQueues != cfg.numNfs)
+            sim::fatal("multi-queue layout needs rxQueues == numNfs "
+                       "(%u != %u): each ring is polled by exactly "
+                       "one core",
+                       cfg.rxQueues, cfg.numNfs);
+        nic::NicConfig nicCfg = cfg.nic;
+        nicCfg.numQueues = cfg.rxQueues;
+        nicCfg.rssTableEntries = cfg.rssTableEntries;
+        nics.push_back(std::make_unique<nic::Nic>(
+            sim_, "system.port0.nic", nicCfg, *ctrl, alloc,
+            numCores));
+        for (std::uint32_t i = 0; i < cfg.numNfs; ++i)
+            buildNfPipeline(i, *nics.back(), i);
+
+        gen::TrafficConfig tc;
+        tc.frameBytes = cfg.frameBytes;
+        tc.synthFlows = cfg.totalFlows
+                            ? cfg.totalFlows
+                            : std::uint64_t(cfg.flowsPerNf) *
+                                  cfg.numNfs;
+        tc.synthDscp = dscp;
+        buildGen("system.port0.gen", *nics.back(), tc);
+    } else {
+        // Legacy layout: one single-queue NIC port + generator per NF
+        // core, flows pinned to the core with EP perfect-match rules.
+        for (std::uint32_t i = 0; i < cfg.numNfs; ++i) {
+            const std::string base = "system.nf" + std::to_string(i);
+            nics.push_back(std::make_unique<nic::Nic>(
+                sim_, base + ".nic", cfg.nic, *ctrl, alloc,
+                numCores));
+            buildNfPipeline(i, *nics.back(), 0);
+
+            gen::TrafficConfig tc;
+            tc.frameBytes = cfg.frameBytes;
+            tc.flows = gen::makeFlows(
+                cfg.flowsPerNf,
+                static_cast<std::uint16_t>(5000 + 100 * i), dscp);
+            for (auto &f : tc.flows)
+                nics.back()->flowDirector().addRule(f.tuple, i);
+            buildGen(base + ".gen", *nics.back(), tc);
         }
     }
 
@@ -145,6 +188,66 @@ TestSystem::TestSystem(const ExperimentConfig &config)
     checker->attach();
 
     recorder = std::make_unique<TimelineRecorder>(sim_);
+
+    if (cfg.sharded)
+        buildShardExecutor();
+}
+
+void
+TestSystem::buildShardExecutor()
+{
+    // Declare the machine's timing-domain topology honestly and let
+    // the plan fuse what is synchronously coupled. Today every edge
+    // below is a sync edge — cores call the shared hierarchy
+    // directly, the NIC DMA engine writes it directly, and the PMD
+    // reads NIC ring state from core step events — so the plan
+    // resolves to ONE conflict group and the executor degenerates to
+    // a deterministic chunked runUntil over the Simulation queue
+    // (bit-identical for any host thread count by construction).
+    // When async memory/PCIe ports land, these edges become
+    // asyncEdge(latency) calls and the same executor runs the groups
+    // genuinely in parallel.
+    sim::shard::ShardPlan plan;
+    const auto llcD = plan.addDomain("llc");
+    const auto dramD = plan.addDomain("dram");
+    plan.syncEdge(llcD, dramD); // LLC misses call DRAM directly
+
+    std::vector<sim::shard::DomainId> coreDs;
+    for (const auto &c : cores) {
+        const auto d = plan.addDomain(c->name() + "+mlc");
+        plan.syncEdge(d, llcD); // coreRead/Write hit the shared LLC
+        coreDs.push_back(d);
+    }
+    for (std::size_t i = 0; i < nics.size(); ++i) {
+        const auto nd = plan.addDomain(nics[i]->name());
+        plan.syncEdge(nd, llcD); // DMA writes land in the LLC
+        if (cfg.multiQueue()) {
+            // Every core's PMD polls a ring of the shared port.
+            for (const auto d : coreDs)
+                plan.syncEdge(d, nd);
+        } else if (i < coreDs.size()) {
+            plan.syncEdge(coreDs[i], nd); // core i polls port i
+        }
+    }
+
+    const auto res = plan.resolve();
+    if (res.groups != 1) {
+        sim::fatal("shard plan resolved to %u conflict groups, but "
+                   "all model components share one Simulation queue; "
+                   "teach TestSystem to allocate per-group queues "
+                   "before declaring async edges",
+                   res.groups);
+    }
+
+    shardExec = std::make_unique<sim::shard::ShardedExecutor>(
+        cfg.shardJobs);
+    shardExec->addExternalDomain("model", sim_.eventq());
+    const sim::Tick window =
+        res.window != sim::maxTick
+            ? res.window
+            : std::max<sim::Tick>(1,
+                                  sim::nsToTicks(cfg.shardWindowNs));
+    shardExec->setWindow(window);
 }
 
 TestSystem::~TestSystem() = default;
@@ -171,7 +274,10 @@ TestSystem::start()
 void
 TestSystem::runFor(sim::Tick duration)
 {
-    sim_.runFor(duration);
+    if (shardExec)
+        shardExec->runUntil(sim_.now() + duration);
+    else
+        sim_.runFor(duration);
 }
 
 std::vector<std::uint8_t>

@@ -3,10 +3,15 @@
  * Full-system builder.
  *
  * TestSystem instantiates and wires one complete simulated server from
- * an ExperimentConfig: cache hierarchy, IDIO controller, one NIC port
- * + mempool + PMD + network function per NF core, the optional
- * LLCAntagonist core, traffic generators, and a timeline recorder.
- * Every bench, example and integration test builds on this class.
+ * an ExperimentConfig. Two I/O layouts exist: the legacy one (one
+ * single-queue NIC port + mempool + PMD + network function per NF
+ * core, EP-rule steering) and the multi-queue one (cfg.rxQueues != 0:
+ * one shared port with a ring per core, RSS/RETA steering over a
+ * synthetic flow population — the paper's actual machine shape).
+ * With cfg.sharded, runFor() drives the model through a
+ * conservative-window ShardedExecutor built from the declared domain
+ * topology. Every bench, example and integration test builds on this
+ * class.
  */
 
 #ifndef IDIO_HARNESS_SYSTEM_HH
@@ -29,6 +34,7 @@
 #include "nf/touch_drop.hh"
 #include "nic/nic.hh"
 #include "sim/checker/invariant_checker.hh"
+#include "sim/shard/executor.hh"
 #include "sim/simulation.hh"
 
 namespace harness
@@ -104,6 +110,12 @@ class TestSystem
     {
         return static_cast<std::uint32_t>(nfs.size());
     }
+
+    /** Non-null when cfg.sharded drives runFor via the executor. */
+    sim::shard::ShardedExecutor *shardExecutor()
+    {
+        return shardExec.get();
+    }
     /** @} */
 
     /** Current transaction totals. */
@@ -128,6 +140,9 @@ class TestSystem
     std::unique_ptr<nf::LlcAntagonist> antag;
     std::unique_ptr<sim::InvariantChecker> checker;
     std::unique_ptr<TimelineRecorder> recorder;
+    std::unique_ptr<sim::shard::ShardedExecutor> shardExec;
+
+    void buildShardExecutor();
 
     bool started = false;
 };

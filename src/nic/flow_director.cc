@@ -11,7 +11,9 @@ namespace nic
 {
 
 FlowDirector::FlowDirector(std::uint32_t numCores,
-                           std::uint32_t filterTableEntries)
+                           std::uint32_t filterTableEntries,
+                           std::uint32_t rssTableEntries,
+                           std::uint32_t rssQueues)
     : numCores(numCores), tableSize(filterTableEntries),
       filterTable(filterTableEntries, -1)
 {
@@ -19,6 +21,17 @@ FlowDirector::FlowDirector(std::uint32_t numCores,
         sim::fatal("FlowDirector needs at least one core");
     if (tableSize == 0 || (tableSize & (tableSize - 1)) != 0)
         sim::fatal("filter table size must be a power of two");
+    if (rssTableEntries != 0) {
+        if ((rssTableEntries & (rssTableEntries - 1)) != 0)
+            sim::fatal("RSS table size must be a power of two");
+        if (rssQueues == 0)
+            rssQueues = numCores;
+        // Default fill round-robins queues over the table, the same
+        // layout drivers program at device init.
+        reta.resize(rssTableEntries);
+        for (std::uint32_t i = 0; i < rssTableEntries; ++i)
+            reta[i] = i % rssQueues;
+    }
 }
 
 void
@@ -50,7 +63,28 @@ FlowDirector::lookup(const net::FiveTuple &flow) const
     if (learned >= 0)
         return static_cast<sim::CoreId>(learned);
 
-    return net::toeplitzHash(flow) % numCores;
+    return rssQueue(flow);
+}
+
+std::uint32_t
+FlowDirector::rssQueue(const net::FiveTuple &flow) const
+{
+    const std::uint32_t hash = net::toeplitzHash(flow);
+    if (reta.empty())
+        return hash % numCores; // legacy direct modulus
+    return reta[hash & (static_cast<std::uint32_t>(reta.size()) - 1)];
+}
+
+void
+FlowDirector::setIndirection(const std::vector<std::uint32_t> &table)
+{
+    if (reta.empty())
+        sim::fatal("setIndirection: flow director is in legacy RSS "
+                   "mode (no RETA)");
+    if (table.size() != reta.size())
+        sim::fatal("setIndirection: size mismatch (RETA %zu, new %zu)",
+                   reta.size(), table.size());
+    reta = table;
 }
 
 std::size_t

@@ -11,7 +11,11 @@
  *    entries by default) populated by sampling outbound traffic; RX
  *    lookups hash the 5-tuple and read the learned destination core.
  *
- * Packets matching neither fall back to RSS (hash modulo core count).
+ * Packets matching neither fall back to RSS. Two RSS variants exist:
+ * the legacy direct modulus (hash % numCores, the historical default,
+ * kept byte-for-byte) and a real indirection table (RETA) of
+ * power-of-two size whose entries map hash buckets to RX queues —
+ * the Niantic/Fortville model, enabled by passing rssTableEntries > 0.
  */
 
 #ifndef IDIO_NIC_FLOW_DIRECTOR_HH
@@ -34,11 +38,18 @@ class FlowDirector
 {
   public:
     /**
-     * @param numCores RSS fallback modulus.
+     * @param numCores RSS fallback modulus (legacy mode) and default
+     *                 queue count for the RETA fill.
      * @param filterTableEntries ATR table size (power of two).
+     * @param rssTableEntries RETA size (power of two); 0 keeps the
+     *                        legacy direct-modulus RSS fallback.
+     * @param rssQueues Queues the default RETA fill round-robins
+     *                  over; 0 means numCores.
      */
     explicit FlowDirector(std::uint32_t numCores,
-                          std::uint32_t filterTableEntries = 8192);
+                          std::uint32_t filterTableEntries = 8192,
+                          std::uint32_t rssTableEntries = 0,
+                          std::uint32_t rssQueues = 0);
 
     /** Install an EP perfect-match rule. */
     void addRule(const net::FiveTuple &flow, sim::CoreId core);
@@ -61,6 +72,22 @@ class FlowDirector
     /** Number of populated ATR entries. */
     std::size_t learnedCount() const;
 
+    /**
+     * RSS queue for @p flow, ignoring EP/ATR state: the pure hash →
+     * RETA (or legacy modulus) mapping. This is what a multi-queue
+     * NIC uses for ring selection.
+     */
+    std::uint32_t rssQueue(const net::FiveTuple &flow) const;
+
+    /** Overwrite the RETA (lengths must match; RETA mode only). */
+    void setIndirection(const std::vector<std::uint32_t> &table);
+
+    /** The RETA; empty in legacy direct-modulus mode. */
+    const std::vector<std::uint32_t> &indirection() const
+    {
+        return reta;
+    }
+
   private:
     std::uint32_t
     tableIndex(const net::FiveTuple &flow) const
@@ -73,6 +100,7 @@ class FlowDirector
     std::unordered_map<net::FiveTuple, sim::CoreId, net::FiveTupleHash>
         rules;
     std::vector<std::int32_t> filterTable; // -1 = unpopulated
+    std::vector<std::uint32_t> reta;       // empty = legacy modulus
 };
 
 } // namespace nic

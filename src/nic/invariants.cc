@@ -86,7 +86,13 @@ registerNicInvariants(sim::InvariantChecker &checker, Nic &nic)
     checker.registerInvariant(
         "nic.rx-ring[" + nic.name() + "]",
         [&nic, label](sim::InvariantReport &r) {
-            checkRxRing(nic.rxRing(), label, r);
+            for (std::uint32_t q = 0; q < nic.numQueues(); ++q) {
+                const std::string qLabel =
+                    nic.numQueues() > 1
+                        ? label + "[q" + std::to_string(q) + "]"
+                        : label;
+                checkRxRing(nic.rxRing(q), qLabel, r);
+            }
         });
 }
 

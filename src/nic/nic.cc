@@ -32,6 +32,27 @@ unpackClassification(std::uint64_t v)
     return cls;
 }
 
+/**
+ * Pack (descriptor index, queue) into one DmaArgs slot. Queue 0 packs
+ * to the bare index, so single-queue DMA argument streams are
+ * bit-identical to the historical ones.
+ */
+std::uint64_t
+packDescRef(std::uint32_t idx, std::uint32_t queue)
+{
+    return std::uint64_t(idx) | (std::uint64_t(queue) << 32);
+}
+
+std::uint32_t descRefIdx(std::uint64_t v)
+{
+    return static_cast<std::uint32_t>(v & 0xffffffffu);
+}
+
+std::uint32_t descRefQueue(std::uint64_t v)
+{
+    return static_cast<std::uint32_t>(v >> 32);
+}
+
 } // anonymous namespace
 
 Nic::Nic(sim::Simulation &simulation, const std::string &name,
@@ -46,21 +67,32 @@ Nic::Nic(sim::Simulation &simulation, const std::string &name,
       txPackets(statGroup, "txPackets", "packets transmitted"),
       txBytes(statGroup, "txBytes", "bytes transmitted"),
       cfg(config), trc(simulation.tracer().registerSource(name)),
-      fdir(numCores),
+      fdir(numCores, 8192, config.rssTableEntries, config.numQueues),
       dma(simulation, name + ".dma", target, config.pcieGBps),
       cls(simulation, name + ".classifier", fdir, config.classifier,
           numCores),
-      ring(alloc.allocate(std::uint64_t(config.ringSize) * rxDescBytes,
-                          mem::lineSize),
-           config.ringSize),
       descWbDelay(sim::nsToTicks(config.descWbDelayNs))
 {
+    if (cfg.numQueues == 0)
+        sim::fatal("NIC '%s' needs at least one RX queue",
+                   name.c_str());
+    rings.reserve(cfg.numQueues);
+    for (std::uint32_t q = 0; q < cfg.numQueues; ++q) {
+        rings.emplace_back(
+            alloc.allocate(std::uint64_t(cfg.ringSize) * rxDescBytes,
+                           mem::lineSize),
+            cfg.ringSize);
+    }
+    queueRx.assign(cfg.numQueues, 0);
+    queueDrops.assign(cfg.numQueues, 0);
+
     payloadDoneHandler = dma.registerHandler(
         name + ".payloadDone",
         [this](const DmaArgs &args) { onPayloadDone(args); });
     descCompleteHandler = dma.registerHandler(
         name + ".descComplete", [this](const DmaArgs &args) {
-            onDescComplete(static_cast<std::uint32_t>(args[0]));
+            onDescComplete(descRefIdx(args[0]),
+                           descRefQueue(args[0]));
         });
 }
 
@@ -82,10 +114,20 @@ Nic::deliver(net::Packet pkt)
     if (rxTap)
         rxTap(pkt.nicArrival, pkt);
 
+    // Queue selection happens before the ring-full check, as in real
+    // multi-queue hardware: the steering decision (EP/ATR filter or
+    // RSS hash) picks the ring whose occupancy then decides the drop.
+    // With one queue this degenerates to the historical single-ring
+    // path, byte-for-byte.
+    const std::uint32_t q =
+        cfg.numQueues > 1 ? fdir.lookup(pkt.flow) % cfg.numQueues : 0;
+    RxRing &ring = rings[q];
+
     if (!ring.hwCanFill()) {
         ++rxDrops;
+        ++queueDrops[q];
         IDIO_TRACE_INSTANT(trc, trace::EventKind::NicDrop, now(),
-                           pkt.id, 0, pkt.frameBytes);
+                           pkt.id, q, pkt.frameBytes);
         return;
     }
 
@@ -93,6 +135,7 @@ Nic::deliver(net::Packet pkt)
     IDIO_TRACE_INSTANT(trc, trace::EventKind::NicClassify, now(),
                        pkt.id, pktCls.appClass, pktCls.destCore);
     const std::uint32_t idx = ring.hwClaim(pkt);
+    ++queueRx[q];
     const RxSlot &slot = ring.slot(idx);
 
     const std::uint32_t lines = pkt.lines();
@@ -102,7 +145,8 @@ Nic::deliver(net::Packet pkt)
     }
     const sim::Tick dmaStart = now();
     dma.enqueueCallback(payloadDoneHandler,
-                        DmaArgs{idx, packClassification(pktCls),
+                        DmaArgs{packDescRef(idx, q),
+                                packClassification(pktCls),
                                 dmaStart, pkt.id, lines,
                                 slot.bufAddr});
 }
@@ -110,7 +154,8 @@ Nic::deliver(net::Packet pkt)
 void
 Nic::onPayloadDone(const DmaArgs &args)
 {
-    const auto idx = static_cast<std::uint32_t>(args[0]);
+    const std::uint32_t idx = descRefIdx(args[0]);
+    const std::uint32_t queue = descRefQueue(args[0]);
     const Classification pktCls = unpackClassification(args[1]);
     [[maybe_unused]] const sim::Tick dmaStart = args[2];
     [[maybe_unused]] const std::uint64_t pktId = args[3];
@@ -119,11 +164,12 @@ Nic::onPayloadDone(const DmaArgs &args)
     [[maybe_unused]] const sim::Addr bufAddr = args[5];
     IDIO_TRACE_COMPLETE(trc, trace::EventKind::NicDmaPayload, dmaStart,
                         now() - dmaStart, pktId, lines, bufAddr);
-    startDescriptorWriteback(idx, pktCls);
+    startDescriptorWriteback(idx, queue, pktCls);
 }
 
 void
 Nic::startDescriptorWriteback(std::uint32_t descIdx,
+                              std::uint32_t queue,
                               const Classification &pktCls)
 {
     // Descriptor writeback happens a little after the payload DMA
@@ -141,7 +187,7 @@ Nic::startDescriptorWriteback(std::uint32_t descIdx,
     // them explicitly (instead of capturing descIdx/meta in the
     // closure) is what makes in-flight writebacks checkpointable.
     pendingWbs.push_back(
-        PendingWb{now() + descWbDelay, 0, descIdx, meta});
+        PendingWb{now() + descWbDelay, 0, descIdx, queue, meta});
     pendingWbs.back().seq =
         eventq().scheduleIn(descWbDelay, [this] { descWbFire(); });
 }
@@ -154,21 +200,23 @@ Nic::descWbFire()
     const PendingWb wb = pendingWbs.front();
     pendingWbs.pop_front();
 
-    const sim::Addr base = ring.descAddr(wb.descIdx);
+    const sim::Addr base = rings[wb.queue].descAddr(wb.descIdx);
     const std::uint64_t descLines = mem::linesSpanned(base, rxDescBytes);
     for (std::uint64_t i = 0; i < descLines; ++i) {
         dma.enqueueWrite(base + i * mem::lineSize, wb.meta);
     }
     dma.enqueueCallback(descCompleteHandler,
-                        DmaArgs{wb.descIdx, 0, 0, 0, 0, 0});
+                        DmaArgs{packDescRef(wb.descIdx, wb.queue),
+                                0, 0, 0, 0, 0});
 }
 
 void
-Nic::onDescComplete(std::uint32_t descIdx)
+Nic::onDescComplete(std::uint32_t descIdx, std::uint32_t queue)
 {
+    RxRing &ring = rings[queue];
     ring.hwComplete(descIdx);
     IDIO_TRACE_INSTANT(trc, trace::EventKind::NicDescWb, now(),
-                       ring.slot(descIdx).pkt.id, 0, descIdx);
+                       ring.slot(descIdx).pkt.id, queue, descIdx);
 }
 
 void
@@ -199,20 +247,27 @@ Nic::transmit(sim::Addr bufAddr, std::uint32_t frameBytes,
 void
 Nic::serialize(ckpt::Serializer &s) const
 {
-    // Ring indices and per-slot state (field by field: RxSlot holds a
-    // Packet, which has padding).
-    s.writeU32(ring.hwHead());
-    s.writeU32(ring.swHead());
-    s.writeU32(ring.size());
-    for (std::uint32_t i = 0; i < ring.size(); ++i) {
-        const RxSlot &slot = ring.slot(i);
-        s.writeU64(slot.bufAddr);
-        s.writeU32(slot.mbufIdx);
-        s.writeBool(slot.armed);
-        s.writeBool(slot.inFlight);
-        s.writeBool(slot.dd);
-        net::serializePacket(s, slot.pkt);
+    s.writeU32(numQueues());
+    for (const RxRing &ring : rings) {
+        // Ring indices and per-slot state (field by field: RxSlot
+        // holds a Packet, which has padding).
+        s.writeU32(ring.hwHead());
+        s.writeU32(ring.swHead());
+        s.writeU32(ring.size());
+        for (std::uint32_t i = 0; i < ring.size(); ++i) {
+            const RxSlot &slot = ring.slot(i);
+            s.writeU64(slot.bufAddr);
+            s.writeU32(slot.mbufIdx);
+            s.writeBool(slot.armed);
+            s.writeBool(slot.inFlight);
+            s.writeBool(slot.dd);
+            net::serializePacket(s, slot.pkt);
+        }
     }
+    for (std::uint64_t v : queueRx)
+        s.writeU64(v);
+    for (std::uint64_t v : queueDrops)
+        s.writeU64(v);
 
     // In-flight descriptor writebacks, front (oldest) first.
     s.writeU64(pendingWbs.size());
@@ -220,6 +275,7 @@ Nic::serialize(ckpt::Serializer &s) const
         s.writeTick(wb.when);
         s.writeU64(wb.seq);
         s.writeU32(wb.descIdx);
+        s.writeU32(wb.queue);
         serializeTlpMeta(s, wb.meta);
     }
 }
@@ -227,23 +283,34 @@ Nic::serialize(ckpt::Serializer &s) const
 void
 Nic::unserialize(ckpt::Deserializer &d)
 {
-    const std::uint32_t hw = d.readU32();
-    const std::uint32_t sw = d.readU32();
-    const std::uint32_t n = d.readU32();
-    if (n != ring.size())
-        sim::fatal("ckpt: '%s' ring size mismatch (checkpoint %u, "
+    const std::uint32_t queues = d.readU32();
+    if (queues != numQueues())
+        sim::fatal("ckpt: '%s' queue count mismatch (checkpoint %u, "
                    "config %u)",
-                   name().c_str(), n, ring.size());
-    ring.restoreHeads(hw, sw);
-    for (std::uint32_t i = 0; i < n; ++i) {
-        RxSlot &slot = ring.slot(i);
-        slot.bufAddr = d.readU64();
-        slot.mbufIdx = d.readU32();
-        slot.armed = d.readBool();
-        slot.inFlight = d.readBool();
-        slot.dd = d.readBool();
-        slot.pkt = net::unserializePacket(d);
+                   name().c_str(), queues, numQueues());
+    for (RxRing &ring : rings) {
+        const std::uint32_t hw = d.readU32();
+        const std::uint32_t sw = d.readU32();
+        const std::uint32_t n = d.readU32();
+        if (n != ring.size())
+            sim::fatal("ckpt: '%s' ring size mismatch (checkpoint %u, "
+                       "config %u)",
+                       name().c_str(), n, ring.size());
+        ring.restoreHeads(hw, sw);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            RxSlot &slot = ring.slot(i);
+            slot.bufAddr = d.readU64();
+            slot.mbufIdx = d.readU32();
+            slot.armed = d.readBool();
+            slot.inFlight = d.readBool();
+            slot.dd = d.readBool();
+            slot.pkt = net::unserializePacket(d);
+        }
     }
+    for (std::uint64_t &v : queueRx)
+        v = d.readU64();
+    for (std::uint64_t &v : queueDrops)
+        v = d.readU64();
 
     pendingWbs.clear();
     const std::uint64_t wbs = d.readU64();
@@ -252,6 +319,7 @@ Nic::unserialize(ckpt::Deserializer &d)
         wb.when = d.readTick();
         wb.seq = d.readU64();
         wb.descIdx = d.readU32();
+        wb.queue = d.readU32();
         wb.meta = unserializeTlpMeta(d);
         pendingWbs.push_back(wb);
         d.deferOneShot(wb.seq, wb.when, [this] { descWbFire(); });

@@ -16,6 +16,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "mem/phys_alloc.hh"
 #include "net/packet.hh"
@@ -33,8 +34,22 @@ namespace nic
 /** NIC configuration. */
 struct NicConfig
 {
-    /** RX descriptor ring entries (DPDK default 1024). */
+    /** RX descriptor ring entries per queue (DPDK default 1024). */
     std::uint32_t ringSize = 1024;
+
+    /**
+     * RX queues (rings) on the port. With one queue the port behaves
+     * exactly as the historical single-ring model; with more, the
+     * flow director's steering decision selects the ring before the
+     * ring-full drop check, like real multi-queue hardware.
+     */
+    std::uint32_t numQueues = 1;
+
+    /**
+     * RSS indirection table (RETA) entries; 0 keeps the legacy
+     * direct-modulus RSS fallback. See FlowDirector.
+     */
+    std::uint32_t rssTableEntries = 0;
 
     /** Effective PCIe bandwidth of the port, GB/s. */
     double pcieGBps = 32.0;
@@ -92,7 +107,30 @@ class Nic : public sim::SimObject
     void transmit(sim::Addr bufAddr, std::uint32_t frameBytes,
                   std::uint32_t txDoneHandler, const DmaArgs &args);
 
-    RxRing &rxRing() { return ring; }
+    /** RX ring of queue @p q (queue 0 is the legacy single ring). */
+    RxRing &
+    rxRing(std::uint32_t q = 0)
+    {
+        SIM_ASSERT(q < rings.size(), "rxRing: queue out of range");
+        return rings[q];
+    }
+
+    std::uint32_t numQueues() const
+    {
+        return static_cast<std::uint32_t>(rings.size());
+    }
+
+    /** @{ Per-queue delivery counters (accepted / ring-full drops). */
+    std::uint64_t queueRxPackets(std::uint32_t q) const
+    {
+        return queueRx.at(q);
+    }
+    std::uint64_t queueDropPackets(std::uint32_t q) const
+    {
+        return queueDrops.at(q);
+    }
+    /** @} */
+
     FlowDirector &flowDirector() { return fdir; }
     IdioClassifier &classifier() { return cls; }
     DmaEngine &dmaEngine() { return dma; }
@@ -121,14 +159,16 @@ class Nic : public sim::SimObject
         sim::Tick when;
         std::uint64_t seq;
         std::uint32_t descIdx;
+        std::uint32_t queue;
         TlpMeta meta;
     };
 
     void startDescriptorWriteback(std::uint32_t descIdx,
+                                  std::uint32_t queue,
                                   const Classification &pktCls);
     void descWbFire();
     void onPayloadDone(const DmaArgs &args);
-    void onDescComplete(std::uint32_t descIdx);
+    void onDescComplete(std::uint32_t descIdx, std::uint32_t queue);
 
     NicConfig cfg;
     RxTap rxTap;
@@ -136,7 +176,9 @@ class Nic : public sim::SimObject
     FlowDirector fdir;
     DmaEngine dma;
     IdioClassifier cls;
-    RxRing ring;
+    std::vector<RxRing> rings;
+    std::vector<std::uint64_t> queueRx;
+    std::vector<std::uint64_t> queueDrops;
     sim::Tick descWbDelay;
     std::deque<PendingWb> pendingWbs;
     std::uint32_t payloadDoneHandler;

@@ -166,4 +166,33 @@ EventQueue::runUntil(Tick limit)
     return processed;
 }
 
+bool
+EventQueue::runOne(Tick limit)
+{
+    // Mirrors one iteration of runUntil(), including the final
+    // advance-to-limit when nothing (more) is eligible, so that a
+    // sequence of runOne(limit) calls is indistinguishable from one
+    // runUntil(limit).
+    const Tick next = peekNextTick();
+    if (heap.empty() || next > limit) {
+        if (curTick < limit && limit != maxTick)
+            curTick = limit;
+        return false;
+    }
+
+    Entry e = popTop();
+    curTick = e.when;
+    e.ev->_scheduled = false;
+    e.ev->process();
+    if (e.owned)
+        releaseOneShot(static_cast<OneShotEvent *>(e.ev));
+    ++nProcessed;
+
+    if (hookEvery && ++sinceHook >= hookEvery) {
+        sinceHook = 0;
+        postEventHook();
+    }
+    return true;
+}
+
 } // namespace sim

@@ -232,6 +232,18 @@ class EventQueue
      */
     std::uint64_t runUntil(Tick limit);
 
+    /**
+     * Fire at most one event scheduled at or before @p limit.
+     *
+     * With no such event, behaves like an empty runUntil(limit):
+     * advances the time base to @p limit (unless limit == maxTick) and
+     * returns false. The sharded executor uses this to interleave
+     * fused domains deterministically by (tick, domain-id).
+     *
+     * @return true iff an event fired.
+     */
+    bool runOne(Tick limit);
+
     /** Run until the queue drains completely. */
     std::uint64_t run() { return runUntil(maxTick); }
 

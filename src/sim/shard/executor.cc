@@ -1,0 +1,244 @@
+/**
+ * @file
+ * ShardedExecutor implementation.
+ */
+
+#include "executor.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace sim
+{
+namespace shard
+{
+
+ShardedExecutor::ShardedExecutor(unsigned jobs)
+    : nJobs(jobs == 0 ? 1 : jobs)
+{
+}
+
+ShardedExecutor::~ShardedExecutor() = default;
+
+DomainId
+ShardedExecutor::addRecord(const std::string &name,
+                           std::uint32_t group,
+                           std::unique_ptr<EventQueue> ownedQueue,
+                           EventQueue *external)
+{
+    DomainRec rec;
+    rec.name = name;
+    rec.group = group;
+    rec.owned = std::move(ownedQueue);
+    rec.queue = rec.owned ? rec.owned.get() : external;
+    doms.push_back(std::move(rec));
+    return static_cast<DomainId>(doms.size() - 1);
+}
+
+DomainId
+ShardedExecutor::addDomain(const std::string &name, std::uint32_t group)
+{
+    return addRecord(name, group, std::make_unique<EventQueue>(),
+                     nullptr);
+}
+
+DomainId
+ShardedExecutor::addExternalDomain(const std::string &name,
+                                   EventQueue &queue,
+                                   std::uint32_t group)
+{
+    return addRecord(name, group, nullptr, &queue);
+}
+
+void
+ShardedExecutor::setGroup(DomainId d, std::uint32_t group)
+{
+    if (d >= doms.size())
+        fatal("setGroup on unknown shard domain %u", d);
+    doms[d].group = group;
+}
+
+void
+ShardedExecutor::setWindow(Tick w)
+{
+    if (w == 0)
+        fatal("shard window must be at least one tick");
+    windowTicks = w;
+}
+
+std::vector<std::vector<DomainId>>
+ShardedExecutor::groupTable() const
+{
+    std::uint32_t maxGroup = 0;
+    for (const DomainRec &d : doms)
+        maxGroup = std::max(maxGroup, d.group);
+    std::vector<std::vector<DomainId>> table(maxGroup + 1);
+    for (DomainId d = 0; d < doms.size(); ++d)
+        table[doms[d].group].push_back(d);
+    table.erase(std::remove_if(table.begin(), table.end(),
+                               [](const std::vector<DomainId> &g) {
+                                   return g.empty();
+                               }),
+                table.end());
+    return table;
+}
+
+std::uint64_t
+ShardedExecutor::runGroup(const std::vector<DomainId> &members,
+                          Tick windowEnd)
+{
+    if (members.size() == 1)
+        return doms[members.front()].queue->runUntil(windowEnd);
+
+    // Fused domains interleave by always firing the globally earliest
+    // event, ties broken by domain id — deterministic regardless of
+    // which host thread runs the group.
+    std::uint64_t processed = 0;
+    for (;;) {
+        Tick best = maxTick;
+        DomainId bestDom = invalidDomain;
+        for (DomainId d : members) {
+            const Tick t = doms[d].queue->peekNextTick();
+            if (t < best) {
+                best = t;
+                bestDom = d;
+            }
+        }
+        if (bestDom == invalidDomain || best > windowEnd)
+            break;
+        if (doms[bestDom].queue->runOne(windowEnd))
+            ++processed;
+    }
+    // runOne() only advances to the fired event's tick; bring every
+    // member's time base to the window end (no-op runOne).
+    for (DomainId d : members)
+        doms[d].queue->runOne(windowEnd);
+    return processed;
+}
+
+void
+ShardedExecutor::mergeStagedPosts()
+{
+    struct Item
+    {
+        Tick when;
+        DomainId src;
+        std::uint64_t seq;
+        StagedPost *post;
+    };
+    std::vector<Item> items;
+    for (DomainId d = 0; d < doms.size(); ++d) {
+        for (StagedPost &p : doms[d].outbox)
+            items.push_back(Item{p.when, d, p.seq, &p});
+    }
+    if (items.empty())
+        return;
+
+    // (tick, source domain, per-source staging order): a total order
+    // that does not depend on which thread ran which group.
+    std::sort(items.begin(), items.end(),
+              [](const Item &a, const Item &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  if (a.src != b.src)
+                      return a.src < b.src;
+                  return a.seq < b.seq;
+              });
+    for (Item &it : items) {
+        doms[it.post->dst].queue->schedule(it.when,
+                                           std::move(it.post->fn));
+        ++nCrossPosts;
+    }
+    for (DomainRec &d : doms)
+        d.outbox.clear();
+}
+
+std::uint64_t
+ShardedExecutor::runUntil(Tick limit)
+{
+    if (doms.empty())
+        fatal("ShardedExecutor::runUntil with no domains");
+
+    const std::vector<std::vector<DomainId>> groups = groupTable();
+
+    // Deliver posts staged by setup code before the first window.
+    mergeStagedPosts();
+
+    std::uint64_t processed = 0;
+    // Start from the furthest-advanced member; after a restore the
+    // queues carry the checkpointed time base and we must not step
+    // backwards.
+    Tick base = 0;
+    for (const DomainRec &d : doms)
+        base = std::max(base, d.queue->now());
+
+    while (base <= limit) {
+        // Idle skip: nothing can fire before the earliest pending
+        // event anywhere, so jump straight to it.
+        Tick minNext = maxTick;
+        for (const DomainRec &d : doms)
+            minNext = std::min(minNext, d.queue->peekNextTick());
+        if (minNext > limit)
+            break;
+        base = std::max(base, minNext);
+
+        const Tick windowEnd =
+            (windowTicks >= maxTick - base)
+                ? limit
+                : std::min(base + windowTicks - 1, limit);
+        curWindowEnd = windowEnd;
+        inWindow = true;
+
+        if (groups.size() > 1 && nJobs > 1) {
+            // One worker per group, claimed off a shared index. Group
+            // results land in per-group slots so the sum (and
+            // everything else) is independent of thread scheduling.
+            const unsigned workers = static_cast<unsigned>(
+                std::min<std::size_t>(nJobs, groups.size()));
+            std::vector<std::uint64_t> counts(groups.size(), 0);
+            std::atomic<std::size_t> next{0};
+            std::vector<std::thread> pool;
+            pool.reserve(workers);
+            for (unsigned w = 0; w < workers; ++w) {
+                pool.emplace_back([this, &groups, &counts, &next,
+                                   windowEnd] {
+                    for (;;) {
+                        const std::size_t g =
+                            next.fetch_add(1,
+                                           std::memory_order_relaxed);
+                        if (g >= groups.size())
+                            return;
+                        counts[g] = runGroup(groups[g], windowEnd);
+                    }
+                });
+            }
+            for (std::thread &t : pool)
+                t.join();
+            for (std::uint64_t c : counts)
+                processed += c;
+        } else {
+            for (const std::vector<DomainId> &g : groups)
+                processed += runGroup(g, windowEnd);
+        }
+
+        inWindow = false;
+        mergeStagedPosts();
+        ++nWindows;
+
+        if (windowEnd >= limit)
+            break;
+        base = windowEnd + 1;
+    }
+
+    // Mirror runUntil(limit) semantics on every member: time base ends
+    // at the limit even if a domain went idle early.
+    if (limit != maxTick) {
+        for (DomainRec &d : doms)
+            d.queue->runOne(limit);
+    }
+    return processed;
+}
+
+} // namespace shard
+} // namespace sim

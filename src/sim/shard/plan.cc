@@ -1,0 +1,100 @@
+/**
+ * @file
+ * ShardPlan implementation: union-find fusion + window derivation.
+ */
+
+#include "plan.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace sim
+{
+namespace shard
+{
+
+DomainId
+ShardPlan::addDomain(std::string name)
+{
+    names.push_back(std::move(name));
+    return static_cast<DomainId>(names.size() - 1);
+}
+
+void
+ShardPlan::checkId(DomainId d, const char *what) const
+{
+    if (d >= names.size())
+        fatal("ShardPlan: %s references unknown domain %u (have %zu)",
+              what, d, names.size());
+}
+
+void
+ShardPlan::syncEdge(DomainId a, DomainId b)
+{
+    checkId(a, "syncEdge");
+    checkId(b, "syncEdge");
+    syncs.push_back(Edge{a, b, 0});
+}
+
+void
+ShardPlan::asyncEdge(DomainId a, DomainId b, Tick latency)
+{
+    checkId(a, "asyncEdge");
+    checkId(b, "asyncEdge");
+    if (latency == 0) {
+        // A zero-latency "async" link is a direct coupling in disguise.
+        syncs.push_back(Edge{a, b, 0});
+        return;
+    }
+    asyncs.push_back(Edge{a, b, latency});
+}
+
+ShardPlan::Resolution
+ShardPlan::resolve() const
+{
+    const std::size_t n = names.size();
+
+    // Union-find over sync edges (path-halving find).
+    std::vector<DomainId> parent(n);
+    std::iota(parent.begin(), parent.end(), DomainId(0));
+    auto find = [&parent](DomainId x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    for (const Edge &e : syncs) {
+        const DomainId ra = find(e.a);
+        const DomainId rb = find(e.b);
+        if (ra != rb)
+            parent[std::max(ra, rb)] = std::min(ra, rb);
+    }
+
+    Resolution r;
+    r.groupOf.assign(n, 0);
+
+    // Dense group ids in order of each group's lowest-numbered member,
+    // so the numbering is independent of edge declaration order.
+    std::vector<std::uint32_t> groupOfRoot(n, ~std::uint32_t(0));
+    for (DomainId d = 0; d < n; ++d) {
+        const DomainId root = find(d);
+        if (groupOfRoot[root] == ~std::uint32_t(0))
+            groupOfRoot[root] = r.groups++;
+        r.groupOf[d] = groupOfRoot[root];
+    }
+
+    // The conservative window is the tightest latency on any link that
+    // actually crosses a group boundary; intra-group async edges don't
+    // constrain the window (the group lockstep already orders them).
+    for (const Edge &e : asyncs) {
+        if (r.groupOf[e.a] != r.groupOf[e.b])
+            r.window = std::min(r.window, e.latency);
+    }
+    return r;
+}
+
+} // namespace shard
+} // namespace sim

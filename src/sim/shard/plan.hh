@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shard topology planning.
+ *
+ * A ShardPlan declares the simulated machine's timing domains (one per
+ * core+MLC pair, NIC port, LLC, DRAM, ...) and the couplings between
+ * them:
+ *
+ *  - a *sync* edge marks two domains that interact through direct
+ *    function calls with no modelled latency (e.g.\ a core reading the
+ *    shared LLC, the PMD polling NIC ring state). Such domains cannot
+ *    run ahead of each other and must execute in one conflict group.
+ *  - an *async* edge marks a link whose interactions always carry a
+ *    modelled latency (e.g.\ a message-passing PCIe port). Domains
+ *    connected only by async edges may run ahead of each other up to
+ *    the minimum link latency — the conservative window.
+ *
+ * resolve() fuses sync-connected domains into conflict groups
+ * (union-find) and derives the conservative window as the minimum
+ * latency over async edges that cross group boundaries. The
+ * ShardedExecutor then runs one worker per group; today's IDIO model
+ * is fully sync-coupled through the shared MemoryHierarchy and so
+ * resolves to a single group, but the plan is what lets future async
+ * memory ports unlock real multi-group parallelism with no executor
+ * changes.
+ */
+
+#ifndef IDIO_SIM_SHARD_PLAN_HH
+#define IDIO_SIM_SHARD_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace sim
+{
+namespace shard
+{
+
+/** Identifier of one timing domain. */
+using DomainId = std::uint32_t;
+
+/** Sentinel meaning "no domain". */
+constexpr DomainId invalidDomain = ~DomainId(0);
+
+/**
+ * Declarative domain topology; see the file comment.
+ */
+class ShardPlan
+{
+  public:
+    /** Declare a domain; ids are dense and assigned in call order. */
+    DomainId addDomain(std::string name);
+
+    /** Zero-latency (direct-call) coupling: fuses a and b. */
+    void syncEdge(DomainId a, DomainId b);
+
+    /**
+     * Latency-carrying link: a and b may run ahead of each other by
+     * up to @p latency ticks. A zero latency degenerates to a sync
+     * edge (the domains fuse).
+     */
+    void asyncEdge(DomainId a, DomainId b, Tick latency);
+
+    /** Outcome of fusing the declared topology. */
+    struct Resolution
+    {
+        /** Dense conflict-group id per domain (by first member). */
+        std::vector<std::uint32_t> groupOf;
+
+        /** Number of distinct conflict groups. */
+        std::uint32_t groups = 0;
+
+        /**
+         * Conservative window: minimum latency over async edges that
+         * cross group boundaries; maxTick when no such edge constrains
+         * the window (callers then pick a barrier stride themselves).
+         */
+        Tick window = maxTick;
+    };
+
+    /** Fuse sync-connected domains and derive the window. */
+    Resolution resolve() const;
+
+    std::size_t domains() const { return names.size(); }
+    const std::string &name(DomainId d) const { return names[d]; }
+
+  private:
+    struct Edge
+    {
+        DomainId a;
+        DomainId b;
+        Tick latency;
+    };
+
+    void checkId(DomainId d, const char *what) const;
+
+    std::vector<std::string> names;
+    std::vector<Edge> syncs;
+    std::vector<Edge> asyncs;
+};
+
+} // namespace shard
+} // namespace sim
+
+#endif // IDIO_SIM_SHARD_PLAN_HH

@@ -95,6 +95,23 @@ TEST(SweepRunner, HardwareJobsIsPositive)
     EXPECT_GE(harness::SweepRunner::hardwareJobs(), 1u);
 }
 
+TEST(SweepRunner, WorkersClampedToHardwareAndTasks)
+{
+    // The fix for the parallel-slower-than-serial pathology: a runner
+    // asked for more jobs than the host has hardware threads (or than
+    // there are tasks) must not oversubscribe.
+    harness::SweepRunner runner(64);
+    const unsigned hw = harness::SweepRunner::hardwareJobs();
+    EXPECT_LE(runner.plannedWorkers(1000), hw);
+    EXPECT_LE(runner.plannedWorkers(3), 3u);
+    EXPECT_EQ(runner.plannedWorkers(0), 0u);
+
+    // Without the clamp the old behavior (min(jobs, tasks)) returns.
+    harness::SweepRunner unclamped(64);
+    harness::SweepRunnerTestAccess::disableHardwareClamp(unclamped);
+    EXPECT_EQ(unclamped.plannedWorkers(1000), 64u);
+}
+
 TEST(SweepRunner, EmptyInputYieldsEmptyOutput)
 {
     harness::SweepRunner runner(8);
@@ -143,8 +160,10 @@ TEST(SweepRunner, ParallelRethrowsFirstErrorAfterAllJoin)
 {
     // The parallel path captures the first exception (by completion
     // order) and rethrows it only after every worker joined — so all
-    // remaining items still execute.
+    // remaining items still execute. The hardware clamp is disabled
+    // so the pool is real even on a single-CPU host.
     harness::SweepRunner runner(4);
+    harness::SweepRunnerTestAccess::disableHardwareClamp(runner);
     std::vector<int> items(32);
     for (int i = 0; i < 32; ++i)
         items[i] = i;
@@ -167,6 +186,7 @@ TEST(SweepRunner, ParallelRethrowsFirstErrorAfterAllJoin)
 TEST(SweepRunner, ParallelAllThrowPropagatesExactlyOneOfThem)
 {
     harness::SweepRunner runner(4);
+    harness::SweepRunnerTestAccess::disableHardwareClamp(runner);
     std::vector<int> items = {10, 11, 12, 13, 14, 15};
     try {
         runner.map(items, [](const int &v) -> int {

@@ -81,6 +81,70 @@ TEST(FlowDirector, LearnIsIdempotentPerIndex)
     EXPECT_EQ(fd.learnedCount(), 1u);
 }
 
+TEST(FlowDirectorRss, DefaultRetaIsRoundRobinFill)
+{
+    nic::FlowDirector fd(8, 8192, /*rssTableEntries=*/128,
+                         /*rssQueues=*/4);
+    const auto &reta = fd.indirection();
+    ASSERT_EQ(reta.size(), 128u);
+    for (std::size_t i = 0; i < reta.size(); ++i)
+        EXPECT_EQ(reta[i], i % 4) << "entry " << i;
+}
+
+TEST(FlowDirectorRss, RetaQueueAlwaysInRange)
+{
+    nic::FlowDirector fd(8, 8192, 128, 4);
+    for (std::uint16_t p = 1; p <= 1000; ++p)
+        EXPECT_LT(fd.rssQueue(flow(p, 6000 + p)), 4u);
+}
+
+TEST(FlowDirectorRss, SetIndirectionOverridesSteering)
+{
+    nic::FlowDirector fd(8, 8192, 128, 4);
+    // Steer every hash bucket to queue 2: all flows land there.
+    fd.setIndirection(std::vector<std::uint32_t>(128, 2));
+    for (std::uint16_t p = 1; p <= 200; ++p)
+        EXPECT_EQ(fd.rssQueue(flow(p, 6000 + p)), 2u);
+}
+
+TEST(FlowDirectorRss, LegacyModeMatchesDirectModulus)
+{
+    // rssTableEntries == 0 keeps the historical hash % numCores path
+    // byte-for-byte; single-queue configs depend on this.
+    nic::FlowDirector legacy(4);
+    for (std::uint16_t p = 1; p <= 200; ++p) {
+        const auto f = flow(p, 6000 + p);
+        EXPECT_EQ(legacy.rssQueue(f),
+                  net::toeplitzHash(f) % 4u);
+        EXPECT_TRUE(legacy.indirection().empty());
+    }
+}
+
+TEST(FlowDirectorRss, LookupFallsBackToReta)
+{
+    // With no EP rule and no ATR entry, lookup() routes through the
+    // RETA, so a forced single-queue table steers everything.
+    nic::FlowDirector fd(8, 8192, 64, 4);
+    fd.setIndirection(std::vector<std::uint32_t>(64, 3));
+    EXPECT_EQ(fd.lookup(flow(4242)), 3u);
+    fd.addRule(flow(4242), 1); // EP still wins over RSS
+    EXPECT_EQ(fd.lookup(flow(4242)), 1u);
+}
+
+TEST(FlowDirectorRssDeath, BadRetaUseIsFatal)
+{
+    EXPECT_EXIT(nic::FlowDirector(4, 8192, /*rssTableEntries=*/100),
+                ::testing::ExitedWithCode(1), "power of two");
+
+    nic::FlowDirector legacy(4);
+    EXPECT_EXIT(legacy.setIndirection({0, 1, 2, 3}),
+                ::testing::ExitedWithCode(1), "");
+
+    nic::FlowDirector reta(4, 8192, 64, 4);
+    EXPECT_EXIT(reta.setIndirection({0, 1}),
+                ::testing::ExitedWithCode(1), "");
+}
+
 TEST(FlowDirectorDeath, BadTableSizeIsFatal)
 {
     EXPECT_EXIT(nic::FlowDirector(4, 1000),

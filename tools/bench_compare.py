@@ -8,10 +8,10 @@ Both files are BENCH_perf.json outputs (see bench/perf_smoke.cc). The
 comparison walks every numeric leaf shared by both files and infers the
 "good" direction from the metric name:
 
-  higher is better   *PerSec, *speedup*
+  higher is better   *PerSec, *speedup*, *_per_wall_sec*
   lower is better    nsPer*, *wallSec*, *WallSec*
-  informational      ops, configs, jobs, hw_threads, deterministic —
-                     never compared
+  informational      ops, configs, jobs, hw_threads, deterministic,
+                     packets, cores, rx_queues, flows — never compared
 
 A metric that moved in the bad direction by more than --tolerance
 (default 15%) is a regression; the script prints every shared metric,
@@ -28,7 +28,17 @@ import json
 import sys
 from pathlib import Path
 
-INFORMATIONAL = {"ops", "configs", "jobs", "hw_threads", "deterministic"}
+INFORMATIONAL = {
+    "ops",
+    "configs",
+    "jobs",
+    "hw_threads",
+    "deterministic",
+    "packets",
+    "cores",
+    "rx_queues",
+    "flows",
+}
 
 
 def flatten(node, prefix=""):
@@ -47,6 +57,10 @@ def direction(path: str):
     leaf = path.rsplit(".", 1)[-1]
     if leaf in INFORMATIONAL:
         return None
+    # Throughput rates first: "packets_per_wall_sec" contains
+    # "wall_sec" and must not fall into the lower-is-better bucket.
+    if "per_wall_sec" in leaf:
+        return +1
     if leaf.endswith("PerSec") or "speedup" in leaf:
         return +1
     if leaf.startswith("nsPer") or "wallSec" in leaf.lower():
