@@ -65,6 +65,16 @@ namespace bench
  *   --sharded-jobs=N drive each system through the sharded
  *               conservative-window executor with N worker threads
  *               (results stay bit-identical to the unsharded build).
+ *   --link-pcie-ns=X / --link-mesh-ns=X model the NIC→LLC (PCIe) and
+ *               core/MLC→LLC (mesh) couplings as latency links of X ns
+ *               (both must be set together; see LinkLatencyConfig).
+ *               The ShardPlan then splits into per-core + NIC + uncore
+ *               groups instead of one fused group.
+ *   --scaled-only (perf_smoke) run only the scaled split-plan
+ *               measurement; used by the CI scaling job.
+ *   --artifacts=PREFIX (perf_smoke) write the scaled split run's
+ *               stats JSON and event trace to PREFIX.stats.json /
+ *               PREFIX.trace.json for cross-process byte-comparison.
  */
 struct BenchOptions
 {
@@ -78,6 +88,10 @@ struct BenchOptions
     std::uint32_t cores = 0;
     std::uint32_t rxQueues = 0;
     unsigned shardedJobs = 0;
+    double linkPcieNs = 0.0;
+    double linkMeshNs = 0.0;
+    bool scaledOnly = false;
+    std::string artifactsPrefix;
 };
 
 /**
@@ -100,6 +114,10 @@ applyTopology(harness::ExperimentConfig &cfg, const BenchOptions &opts)
         cfg.sharded = true;
         cfg.shardJobs = opts.shardedJobs;
     }
+    if (opts.linkPcieNs > 0.0)
+        cfg.links.pcieNs = opts.linkPcieNs;
+    if (opts.linkMeshNs > 0.0)
+        cfg.links.meshNs = opts.linkMeshNs;
 }
 
 inline BenchOptions
@@ -133,6 +151,14 @@ parseBenchOptions(int argc, char **argv)
         } else if (arg.rfind("--sharded-jobs=", 0) == 0) {
             opts.shardedJobs = static_cast<unsigned>(
                 std::strtoul(arg.c_str() + 15, nullptr, 10));
+        } else if (arg.rfind("--link-pcie-ns=", 0) == 0) {
+            opts.linkPcieNs = std::strtod(arg.c_str() + 15, nullptr);
+        } else if (arg.rfind("--link-mesh-ns=", 0) == 0) {
+            opts.linkMeshNs = std::strtod(arg.c_str() + 15, nullptr);
+        } else if (arg == "--scaled-only") {
+            opts.scaledOnly = true;
+        } else if (arg.rfind("--artifacts=", 0) == 0) {
+            opts.artifactsPrefix = arg.substr(12);
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: %s [--jobs=N] [--json=FILE] [--trace=FILE]\n"
@@ -155,7 +181,15 @@ parseBenchOptions(int argc, char **argv)
                 "  --rx-queues=N multi-queue RX rings with RSS "
                 "steering (0 = legacy layout)\n"
                 "  --sharded-jobs=N run each system on the sharded "
-                "executor with N threads\n",
+                "executor with N threads\n"
+                "  --link-pcie-ns=X model the NIC-to-LLC coupling as "
+                "an X ns latency link\n"
+                "  --link-mesh-ns=X model the core-to-LLC coupling as "
+                "an X ns latency link\n"
+                "  --scaled-only (perf_smoke) run only the scaled "
+                "split-plan measurement\n"
+                "  --artifacts=PREFIX (perf_smoke) dump the scaled "
+                "run's stats+trace for byte-compare\n",
                 argv[0], harness::SweepRunner::hardwareJobs());
             std::exit(0);
         } else {

@@ -13,15 +13,24 @@
  *  - a 32-core / 32-RX-queue scaled run, unsharded vs sharded, with a
  *    byte-identical determinism check (stats JSON + event trace) of
  *    the sharded executor across worker counts,
+ *  - the same scaled machine on the SPLIT shard plan (modelled PCIe
+ *    and mesh link latencies, so per-core + NIC + uncore run in
+ *    separate conflict groups), timed with --sharded-jobs workers and
+ *    byte-checked across worker counts,
  *  - a fig10-style config sweep run serially and on a thread pool,
  *    with a bit-identical-results determinism check.
+ *
+ * --scaled-only restricts the run to the split-plan scaled
+ * measurement (the CI scaling job invokes it three times with
+ * --sharded-jobs=1/2/4 and byte-compares the --artifacts dumps).
  *
  * The JSON output (default BENCH_perf.json) is committed periodically
  * as the repo's performance trajectory and is compared by
  * tools/bench_compare.py in CI. Wall-clock numbers are only comparable
  * across runs on similar hosts; `hw_threads` records how parallel the
  * sweep could actually go (the speedup criterion needs a multi-core
- * host — on a single-thread host it is skipped with a notice).
+ * host — on a single-thread host the speedup fields are omitted from
+ * the JSON and a notice is printed instead).
  */
 
 #include <algorithm>
@@ -209,6 +218,73 @@ scaledConfig()
     return cfg;
 }
 
+/**
+ * The scaled machine on the split shard plan: modelled PCIe and mesh
+ * link latencies break the fused conflict group into per-core + NIC +
+ * uncore groups, so --sharded-jobs workers can genuinely overlap.
+ */
+harness::ExperimentConfig
+splitScaledConfig(const bench::BenchOptions &opts)
+{
+    auto cfg = scaledConfig();
+    cfg.links.pcieNs = opts.linkPcieNs > 0.0 ? opts.linkPcieNs : 500.0;
+    cfg.links.meshNs = opts.linkMeshNs > 0.0 ? opts.linkMeshNs : 250.0;
+    if (opts.seed)
+        cfg.seed = *opts.seed;
+    return cfg;
+}
+
+/** Everything measured from the split-plan scaled runs. */
+struct SplitScaled
+{
+    PacketRate rate;
+    unsigned jobs = 1;
+    double pcieNs = 0.0;
+    double meshNs = 0.0;
+    bool deterministic = false;
+    std::string stats;
+    std::string trace;
+};
+
+/**
+ * Time the split-plan scaled run at @p jobs workers, then re-run it
+ * untimed at @p jobs and at a different worker count and byte-compare
+ * stats JSON + event trace. The captured artifacts are written via
+ * --artifacts for cross-process comparison (they must be identical no
+ * matter which --sharded-jobs produced them).
+ */
+SplitScaled
+measureSplitScaled(const bench::BenchOptions &opts, unsigned jobs)
+{
+    SplitScaled r;
+    auto cfg = splitScaledConfig(opts);
+    r.jobs = jobs;
+    r.pcieNs = cfg.links.pcieNs;
+    r.meshNs = cfg.links.meshNs;
+
+    cfg.sharded = true;
+    cfg.shardJobs = jobs;
+    r.rate = timedBurst(cfg);
+
+    timedBurst(cfg, &r.stats, &r.trace);
+    auto other = cfg;
+    other.shardJobs = jobs == 1 ? 2 : 1;
+    std::string statsOther, traceOther;
+    timedBurst(other, &statsOther, &traceOther);
+    r.deterministic = !r.stats.empty() && r.stats == statsOther &&
+                      r.trace == traceOther;
+    return r;
+}
+
+void
+writeArtifact(const std::string &path, const std::string &content)
+{
+    std::ofstream ofs(path, std::ios::binary);
+    if (!ofs)
+        sim::fatal("cannot open artifact file '%s'", path.c_str());
+    ofs << content;
+}
+
 /** The fig10-style sweep the parallel runner is judged on. */
 std::vector<bench::SweepCase>
 sweepCases()
@@ -273,88 +349,135 @@ main(int argc, char **argv)
         std::max(1u, std::min(opts.jobs > 1 ? opts.jobs : 8u,
                               hwThreads));
 
-    std::printf("=== perf_smoke: simulator host-side performance ===\n");
-    std::printf("host threads: %u, sweep jobs: %u\n\n", hwThreads,
-                sweepJobs);
+    const bool full = !opts.scaledOnly;
 
-    const MicroResult micros[] = {
-        microEventQueueOneShot(2'000'000),
-        microEventQueueSquashCompact(2'000'000),
-        microCacheStreamingMiss(2'000'000),
-        microCachePcieWrite(2'000'000),
-    };
-    for (const auto &m : micros) {
-        std::printf("%-26s %8.1f ns/op  %12.0f ops/s\n", m.name,
-                    m.nsPerOp(), m.opsPerSec());
+    std::printf("=== perf_smoke: simulator host-side performance ===\n");
+    std::printf("host threads: %u, sweep jobs: %u%s\n\n", hwThreads,
+                sweepJobs, full ? "" : " (--scaled-only)");
+
+    std::vector<MicroResult> micros;
+    if (full) {
+        micros = {
+            microEventQueueOneShot(2'000'000),
+            microEventQueueSquashCompact(2'000'000),
+            microCacheStreamingMiss(2'000'000),
+            microCachePcieWrite(2'000'000),
+        };
+        for (const auto &m : micros) {
+            std::printf("%-26s %8.1f ns/op  %12.0f ops/s\n", m.name,
+                        m.nsPerOp(), m.opsPerSec());
+        }
     }
 
     // Headline metric: simulated packets retired per wall second on
     // the default 2-core single-burst config.
-    harness::ExperimentConfig defaultCfg;
-    defaultCfg.numNfs = 2;
-    defaultCfg.nfKind = harness::NfKind::TouchDrop;
-    defaultCfg.rateGbps = 100.0;
-    defaultCfg.applyPolicy(idio::Policy::Idio);
-    if (opts.seed)
-        defaultCfg.seed = *opts.seed;
-    const PacketRate single = timedBurst(defaultCfg);
-    std::printf("\nsingle run: %llu packets in %.3f s  "
-                "(%.0f packets/wall-sec)\n",
-                (unsigned long long)single.packets, single.wallSec,
-                single.perSec());
+    PacketRate single;
+    if (full) {
+        harness::ExperimentConfig defaultCfg;
+        defaultCfg.numNfs = 2;
+        defaultCfg.nfKind = harness::NfKind::TouchDrop;
+        defaultCfg.rateGbps = 100.0;
+        defaultCfg.applyPolicy(idio::Policy::Idio);
+        if (opts.seed)
+            defaultCfg.seed = *opts.seed;
+        single = timedBurst(defaultCfg);
+        std::printf("\nsingle run: %llu packets in %.3f s  "
+                    "(%.0f packets/wall-sec)\n",
+                    (unsigned long long)single.packets, single.wallSec,
+                    single.perSec());
+    }
 
     // Scaled machine: the paper's 32-core shape. Timed unsharded and
-    // sharded, plus a byte-identity check of the sharded executor
-    // across worker counts (stats JSON + full event trace).
-    auto scaled = scaledConfig();
-    if (opts.seed)
-        scaled.seed = *opts.seed;
-    const PacketRate scaledPlain = timedBurst(scaled);
+    // sharded (fused plan), plus a byte-identity check of the sharded
+    // executor across worker counts (stats JSON + full event trace).
+    PacketRate scaledPlain, scaledShardedRate;
+    bool shardedDeterministic = true;
+    if (full) {
+        auto scaled = scaledConfig();
+        if (opts.seed)
+            scaled.seed = *opts.seed;
+        scaledPlain = timedBurst(scaled);
 
-    auto scaledSharded = scaled;
-    scaledSharded.sharded = true;
-    scaledSharded.shardJobs = std::max(2u, std::min(hwThreads, 4u));
-    const PacketRate scaledShardedRate = timedBurst(scaledSharded);
+        auto scaledSharded = scaled;
+        scaledSharded.sharded = true;
+        scaledSharded.shardJobs = std::max(2u, std::min(hwThreads, 4u));
+        scaledShardedRate = timedBurst(scaledSharded);
 
-    std::string statsJ1, statsJ2, traceJ1, traceJ2;
-    scaledSharded.shardJobs = 1;
-    timedBurst(scaledSharded, &statsJ1, &traceJ1);
-    scaledSharded.shardJobs = 2;
-    timedBurst(scaledSharded, &statsJ2, &traceJ2);
-    const bool shardedDeterministic =
-        !statsJ1.empty() && statsJ1 == statsJ2 && traceJ1 == traceJ2;
+        std::string statsJ1, statsJ2, traceJ1, traceJ2;
+        scaledSharded.shardJobs = 1;
+        timedBurst(scaledSharded, &statsJ1, &traceJ1);
+        scaledSharded.shardJobs = 2;
+        timedBurst(scaledSharded, &statsJ2, &traceJ2);
+        shardedDeterministic = !statsJ1.empty() &&
+                               statsJ1 == statsJ2 && traceJ1 == traceJ2;
 
-    std::printf("scaled 32-core: unsharded %.0f packets/wall-sec, "
-                "sharded %.0f packets/wall-sec\n",
-                scaledPlain.perSec(), scaledShardedRate.perSec());
-    std::printf("sharded deterministic: %s\n",
-                shardedDeterministic
+        std::printf("scaled 32-core: unsharded %.0f packets/wall-sec, "
+                    "sharded %.0f packets/wall-sec\n",
+                    scaledPlain.perSec(), scaledShardedRate.perSec());
+        std::printf("sharded deterministic: %s\n",
+                    shardedDeterministic
+                        ? "yes (stats+trace byte-identical across jobs)"
+                        : "NO");
+    }
+
+    // The same machine on the split shard plan: modelled link
+    // latencies give every core, the NIC, and the uncore their own
+    // conflict group, so --sharded-jobs is a real parallelism knob.
+    const unsigned splitJobs =
+        opts.shardedJobs ? opts.shardedJobs
+                         : std::max(2u, std::min(hwThreads, 4u));
+    const SplitScaled split = measureSplitScaled(opts, splitJobs);
+    std::printf("scaled split plan (pcie %.0f ns, mesh %.0f ns, "
+                "jobs=%u): %.0f packets/wall-sec\n",
+                split.pcieNs, split.meshNs, split.jobs,
+                split.rate.perSec());
+    std::printf("split deterministic: %s\n",
+                split.deterministic
                     ? "yes (stats+trace byte-identical across jobs)"
                     : "NO");
+    if (!opts.artifactsPrefix.empty()) {
+        writeArtifact(opts.artifactsPrefix + ".stats.json",
+                      split.stats);
+        writeArtifact(opts.artifactsPrefix + ".trace.json",
+                      split.trace);
+        std::printf("artifacts: %s.{stats,trace}.json\n",
+                    opts.artifactsPrefix.c_str());
+    }
 
-    auto cases = sweepCases();
-    bench::applySeed(cases, opts);
-    std::printf("\nsweep: %zu fig10-style configs\n", cases.size());
+    // Fig10-style sweep, serial vs thread pool.
+    std::vector<bench::SweepCase> cases;
+    bool deterministic = true;
+    double serialSec = 0, parallelSec = 0, speedup = 0;
+    std::uint64_t packets = 0;
+    if (full) {
+        cases = sweepCases();
+        bench::applySeed(cases, opts);
+        std::printf("\nsweep: %zu fig10-style configs\n", cases.size());
 
-    const auto serialStart = Clock::now();
-    const auto serial = bench::runSweepSingleBurst(cases, 1);
-    const double serialSec = secondsSince(serialStart);
+        const auto serialStart = Clock::now();
+        const auto serial = bench::runSweepSingleBurst(cases, 1);
+        serialSec = secondsSince(serialStart);
 
-    const auto parallelStart = Clock::now();
-    const auto parallel = bench::runSweepSingleBurst(cases, sweepJobs);
-    const double parallelSec = secondsSince(parallelStart);
+        const auto parallelStart = Clock::now();
+        const auto parallel =
+            bench::runSweepSingleBurst(cases, sweepJobs);
+        parallelSec = secondsSince(parallelStart);
 
-    const bool deterministic = sameResults(serial, parallel);
-    const double speedup = parallelSec > 0 ? serialSec / parallelSec : 0;
-    const std::uint64_t packets = sweepPackets(serial);
+        deterministic = sameResults(serial, parallel);
+        speedup = parallelSec > 0 ? serialSec / parallelSec : 0;
+        packets = sweepPackets(serial);
 
-    std::printf("jobs=1:  %.3f s\njobs=%u: %.3f s  (speedup %.2fx)\n",
-                serialSec, sweepJobs, parallelSec, speedup);
-    std::printf("deterministic: %s\n",
-                deterministic ? "yes (bit-identical totals)" : "NO");
-    if (hwThreads == 1) {
-        std::printf("NOTICE: single hardware thread — parallel "
-                    "speedup is unmeasurable on this host\n");
+        std::printf("jobs=1:  %.3f s\njobs=%u: %.3f s  "
+                    "(speedup %.2fx)\n",
+                    serialSec, sweepJobs, parallelSec, speedup);
+        std::printf("deterministic: %s\n",
+                    deterministic ? "yes (bit-identical totals)"
+                                  : "NO");
+        if (hwThreads == 1) {
+            std::printf("NOTICE: single hardware thread — parallel "
+                        "speedup is unmeasurable on this host "
+                        "(speedup fields omitted from the JSON)\n");
+        }
     }
 
     {
@@ -365,51 +488,84 @@ main(int argc, char **argv)
         w.beginObject();
         w.field("bench", "perf_smoke");
         w.field("hw_threads", hwThreads);
-        w.beginObject("micros");
-        for (const auto &m : micros) {
-            w.beginObject(m.name);
-            w.field("ops", m.ops);
-            w.field("wallSec", m.wallSec);
-            w.field("nsPerOp", m.nsPerOp());
-            w.field("opsPerSec", m.opsPerSec());
+        if (full) {
+            w.beginObject("micros");
+            for (const auto &m : micros) {
+                w.beginObject(m.name);
+                w.field("ops", m.ops);
+                w.field("wallSec", m.wallSec);
+                w.field("nsPerOp", m.nsPerOp());
+                w.field("opsPerSec", m.opsPerSec());
+                w.end();
+            }
+            w.end();
+            w.beginObject("single_run");
+            w.field("packets", single.packets);
+            w.field("wallSec", single.wallSec);
+            w.field("packets_per_wall_sec", single.perSec());
             w.end();
         }
-        w.end();
-        w.beginObject("single_run");
-        w.field("packets", single.packets);
-        w.field("wallSec", single.wallSec);
-        w.field("packets_per_wall_sec", single.perSec());
-        w.end();
         w.beginObject("scaled");
         w.field("cores", std::uint64_t(32));
         w.field("rx_queues", std::uint64_t(32));
         w.field("flows", std::uint64_t(1u << 20));
-        w.field("packets", scaledPlain.packets);
-        w.field("packets_per_wall_sec", scaledPlain.perSec());
-        w.field("sharded_packets_per_wall_sec",
-                scaledShardedRate.perSec());
-        w.field("sharded_deterministic", shardedDeterministic);
+        // The headline rate follows the requested mode: the split
+        // plan under an explicit --sharded-jobs (what the CI scaling
+        // job sweeps), the legacy fused unsharded run otherwise (the
+        // committed-trajectory baseline).
+        const bool headlineSplit = opts.shardedJobs || !full;
+        const PacketRate &headline =
+            headlineSplit ? split.rate : scaledPlain;
+        w.field("packets", headline.packets);
+        w.field("packets_per_wall_sec", headline.perSec());
+        if (full) {
+            w.field("sharded_packets_per_wall_sec",
+                    scaledShardedRate.perSec());
+            w.field("sharded_deterministic", shardedDeterministic);
+        }
+        w.beginObject("split");
+        w.field("link_pcie_ns", split.pcieNs);
+        w.field("link_mesh_ns", split.meshNs);
+        w.field("jobs", split.jobs);
+        w.field("packets", split.rate.packets);
+        w.field("packets_per_wall_sec", split.rate.perSec());
+        w.field("deterministic", split.deterministic);
         w.end();
-        w.beginObject("sweep");
-        w.field("configs", std::uint64_t(cases.size()));
-        w.field("jobs", sweepJobs);
-        w.field("packets", packets);
-        w.field("serialWallSec", serialSec);
-        w.field("parallelWallSec", parallelSec);
-        w.field("packets_per_wall_sec_serial",
-                serialSec > 0 ? double(packets) / serialSec : 0);
-        w.field("packets_per_wall_sec_parallel",
-                parallelSec > 0 ? double(packets) / parallelSec : 0);
-        w.field("speedup", speedup);
-        w.field("deterministic", deterministic);
         w.end();
+        if (full) {
+            w.beginObject("sweep");
+            w.field("configs", std::uint64_t(cases.size()));
+            w.field("jobs", sweepJobs);
+            w.field("packets", packets);
+            w.field("serialWallSec", serialSec);
+            w.field("packets_per_wall_sec_serial",
+                    serialSec > 0 ? double(packets) / serialSec : 0);
+            // On a single-thread host the parallel leg only measures
+            // oversubscription; publishing a "speedup" there would
+            // poison the committed trajectory, so the fields are
+            // omitted (the determinism check above still ran).
+            if (hwThreads > 1) {
+                w.field("parallelWallSec", parallelSec);
+                w.field("packets_per_wall_sec_parallel",
+                        parallelSec > 0 ? double(packets) / parallelSec
+                                        : 0);
+                w.field("speedup", speedup);
+            } else {
+                w.field("speedup_skipped_single_thread", true);
+            }
+            w.field("deterministic", deterministic);
+            w.end();
+        }
         w.end();
         ofs << "\n";
     }
     std::printf("\nwrote %s\n", opts.jsonPath.c_str());
 
-    // Determinism (sweep and sharded executor) is a hard failure; the
-    // parallel speedup is judged only where the host can actually run
-    // threads in parallel.
-    return (deterministic && shardedDeterministic) ? 0 : 1;
+    // Determinism (sweep, fused sharded, and split plan) is a hard
+    // failure; the parallel speedup is judged only where the host can
+    // actually run threads in parallel.
+    return (deterministic && shardedDeterministic &&
+            split.deterministic)
+               ? 0
+               : 1;
 }

@@ -29,15 +29,41 @@ constexpr std::uint8_t tagGauge = 1;
 constexpr std::uint8_t tagLatencyRecorder = 2;
 
 void
-saveEventq(Serializer &s, sim::EventQueue &eq)
+saveEventq(Serializer &s, sim::EventQueue &eq,
+           const std::string &section = "_eventq")
 {
-    s.beginSection("_eventq");
+    s.beginSection(section);
     s.writeTick(eq.now());
     s.writeU64(sim::EventQueueRestoreAccess::nextSeq(eq));
     s.writeU64(eq.processedEvents());
     s.writeU64(sim::EventQueueRestoreAccess::sinceHook(eq));
     s.writeU64(eq.pending());
     s.endSection();
+}
+
+void
+restoreEventq(Deserializer &d, sim::EventQueue &eq,
+              const std::string &section)
+{
+    d.beginSection(section);
+    const sim::Tick tick = d.readTick();
+    const std::uint64_t nextSeq = d.readU64();
+    const std::uint64_t nProcessed = d.readU64();
+    const std::uint64_t sinceHook = d.readU64();
+    const std::uint64_t pendingCount = d.readU64();
+    d.endSection();
+
+    if (eq.pending() != pendingCount)
+        sim::fatal("ckpt: restored %zu pending events in '%s' but the "
+                   "checkpoint recorded %llu — some owner failed to "
+                   "re-register its callbacks",
+                   eq.pending(), section.c_str(),
+                   (unsigned long long)pendingCount);
+
+    sim::EventQueueRestoreAccess::setCurTick(eq, tick);
+    sim::EventQueueRestoreAccess::setNextSeq(eq, nextSeq);
+    sim::EventQueueRestoreAccess::setProcessed(eq, nProcessed);
+    sim::EventQueueRestoreAccess::setSinceHook(eq, sinceHook);
 }
 
 void
@@ -214,6 +240,12 @@ save(sim::Simulation &simulation)
     sim::EventQueue &eq = simulation.eventq();
     Serializer s;
     saveEventq(s, eq);
+    // Per-domain queues of a sharded model. Single-queue simulations
+    // have none, keeping their checkpoint bytes unchanged.
+    for (std::size_t i = 0; i < simulation.domainQueueCount(); ++i) {
+        saveEventq(s, simulation.domainQueue(i),
+                   "_eventq:" + simulation.domainQueueName(i));
+    }
     saveRootRng(s, simulation);
     saveStats(s, simulation.statsRegistry());
     saveTracer(s, simulation.tracer());
@@ -255,6 +287,10 @@ restore(sim::Simulation &simulation,
     // Drop everything construction/start() scheduled; the checkpointed
     // pending set replaces it wholesale.
     sim::EventQueueRestoreAccess::clearPending(eq);
+    for (std::size_t i = 0; i < simulation.domainQueueCount(); ++i) {
+        sim::EventQueueRestoreAccess::clearPending(
+            simulation.domainQueue(i));
+    }
 
     // _rootRng
     d.beginSection("_rootRng");
@@ -274,27 +310,14 @@ restore(sim::Simulation &simulation,
     }
 
     // Replay pending events in original order, then force the time
-    // base and counters last (schedule() checks against curTick).
+    // bases and counters last (schedule() checks against curTick).
     d.applyDeferred(eq);
 
-    d.beginSection("_eventq");
-    const sim::Tick tick = d.readTick();
-    const std::uint64_t nextSeq = d.readU64();
-    const std::uint64_t nProcessed = d.readU64();
-    const std::uint64_t sinceHook = d.readU64();
-    const std::uint64_t pendingCount = d.readU64();
-    d.endSection();
-
-    if (eq.pending() != pendingCount)
-        sim::fatal("ckpt: restored %zu pending events but the "
-                   "checkpoint recorded %llu — some owner failed to "
-                   "re-register its callbacks",
-                   eq.pending(), (unsigned long long)pendingCount);
-
-    sim::EventQueueRestoreAccess::setCurTick(eq, tick);
-    sim::EventQueueRestoreAccess::setNextSeq(eq, nextSeq);
-    sim::EventQueueRestoreAccess::setProcessed(eq, nProcessed);
-    sim::EventQueueRestoreAccess::setSinceHook(eq, sinceHook);
+    restoreEventq(d, eq, "_eventq");
+    for (std::size_t i = 0; i < simulation.domainQueueCount(); ++i) {
+        restoreEventq(d, simulation.domainQueue(i),
+                      "_eventq:" + simulation.domainQueueName(i));
+    }
 }
 
 void

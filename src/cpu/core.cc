@@ -5,6 +5,8 @@
 
 #include "core.hh"
 
+#include <algorithm>
+
 #include "ckpt/serializer.hh"
 #include "sim/simulation.hh"
 
@@ -46,7 +48,10 @@ Core::read(sim::Addr addr, std::uint64_t bytes)
         const mem::AccessResult r = hier.coreRead(coreId, a);
         lat += r.latency;
         ++reads;
-        countLevel(r.level);
+        // Pending accesses count their level when the fill reply
+        // arrives (fillArrived), not at probe time.
+        if (!r.pending)
+            countLevel(r.level);
     }
     return lat;
 }
@@ -61,7 +66,8 @@ Core::write(sim::Addr addr, std::uint64_t bytes)
         const mem::AccessResult r = hier.coreWrite(coreId, a);
         lat += r.latency;
         ++writes;
-        countLevel(r.level);
+        if (!r.pending)
+            countLevel(r.level);
     }
     return lat;
 }
@@ -87,6 +93,8 @@ void
 Core::halt()
 {
     workload = nullptr;
+    fillsOutstanding = 0;
+    fillLatAccum = 0;
     if (stepEvent.scheduled())
         eventq().deschedule(&stepEvent);
 }
@@ -100,21 +108,70 @@ Core::doStep()
     SIM_ASSERT(delay > 0, "workload step returned zero delay");
     ++steps;
     busyTicks += delay;
+    // Split mode: when the step left fill requests pending, the
+    // dispatch hook sends them over the link and the schedule stalls
+    // until fillArrived() drains the replies.
+    if (splitDispatch && splitDispatch(now() + delay))
+        return;
     eventq().scheduleIn(&stepEvent, delay);
+}
+
+void
+Core::beginFillWait(std::uint32_t count, sim::Tick resumeBase)
+{
+    SIM_ASSERT(count > 0, "fill wait needs at least one fill");
+    SIM_ASSERT(fillsOutstanding == 0,
+               "fill wait started with fills already outstanding");
+    fillsOutstanding = count;
+    fillLatAccum = 0;
+    stepResumeBase = resumeBase;
+}
+
+void
+Core::fillArrived(sim::Tick extraLat, mem::HitLevel level)
+{
+    SIM_ASSERT(fillsOutstanding > 0,
+               "fill reply arrived with no wait in progress");
+    countLevel(level);
+    fillLatAccum += extraLat;
+    if (--fillsOutstanding)
+        return;
+    if (!workload)
+        return;
+    // The uncore share of the stalled step's latency lands here; the
+    // round-trip link time may already exceed it, in which case the
+    // step resumes as soon as the last reply lands.
+    busyTicks += fillLatAccum;
+    const sim::Tick at =
+        std::max(stepResumeBase + fillLatAccum, now());
+    if (!stepEvent.scheduled())
+        eventq().schedule(&stepEvent, at);
 }
 
 void
 Core::serialize(ckpt::Serializer &s) const
 {
     // The workload binding itself is re-created by the harness before
-    // restore; only the step schedule is dynamic.
+    // restore; only the step schedule is dynamic. The split fill-wait
+    // fields only exist (and only serialize) when the dispatch hook is
+    // bound, keeping legacy checkpoint bytes unchanged.
     ckpt::serializeEvent(s, stepEvent);
+    if (splitDispatch) {
+        s.writeU32(fillsOutstanding);
+        s.writeTick(fillLatAccum);
+        s.writeTick(stepResumeBase);
+    }
 }
 
 void
 Core::unserialize(ckpt::Deserializer &d)
 {
-    ckpt::unserializeEvent(d, &stepEvent);
+    ckpt::unserializeEvent(d, &stepEvent, &eventq());
+    if (splitDispatch) {
+        fillsOutstanding = d.readU32();
+        fillLatAccum = d.readTick();
+        stepResumeBase = d.readTick();
+    }
 }
 
 void

@@ -50,6 +50,31 @@ enum class TrafficKind
 };
 
 /**
+ * Modelled interconnect-link latencies (paper Sec. III machine model).
+ *
+ * Zero (the default) keeps the legacy fully-synchronous coupling: every
+ * cross-domain interaction is a same-tick call and the ShardPlan fuses
+ * the whole machine into one conflict group. Nonzero latencies make the
+ * NIC→LLC (PCIe) and core/MLC→LLC (mesh hop) couplings message-passing
+ * links: the affected interactions travel over sim::shard::LinkChannel
+ * edges with these delays, the plan splits into per-core + NIC + uncore
+ * groups, and the ShardedExecutor window derives from the minimum link
+ * latency. Both latencies must be set together (a split plan needs
+ * every cross-group coupling to carry latency).
+ */
+struct LinkLatencyConfig
+{
+    /** NIC→root-complex (PCIe) one-way latency, ns. */
+    double pcieNs = 0.0;
+
+    /** Core/MLC→LLC (mesh hop) one-way latency, ns. */
+    double meshNs = 0.0;
+
+    /** True when the model runs in split (message-passing) mode. */
+    bool split() const { return pcieNs > 0.0 || meshNs > 0.0; }
+};
+
+/**
  * Everything needed to build one TestSystem.
  */
 struct ExperimentConfig
@@ -108,6 +133,9 @@ struct ExperimentConfig
      * no cross-group async edge to derive it from.
      */
     double shardWindowNs = 1000.0;
+
+    /** Modelled interconnect latencies (zero = legacy sync coupling). */
+    LinkLatencyConfig links;
     /** @} */
 
     /** MLC size of the antagonist core (paper: 256 KB). */

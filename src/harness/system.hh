@@ -26,6 +26,7 @@
 #include "dpdk/rx_queue.hh"
 #include "gen/traffic.hh"
 #include "harness/experiment_config.hh"
+#include "harness/split_fabric.hh"
 #include "harness/timeline.hh"
 #include "idio/controller.hh"
 #include "mem/phys_alloc.hh"
@@ -111,11 +112,18 @@ class TestSystem
         return static_cast<std::uint32_t>(nfs.size());
     }
 
-    /** Non-null when cfg.sharded drives runFor via the executor. */
+    /**
+     * Non-null when runFor is driven through the executor: always in
+     * split-link mode (the domain queues need the windowed barrier
+     * protocol), and with cfg.sharded on the legacy fused plan.
+     */
     sim::shard::ShardedExecutor *shardExecutor()
     {
         return shardExec.get();
     }
+
+    /** Non-null in split-link mode (cfg.links.split()). */
+    SplitFabric *splitFabric() { return fabric.get(); }
     /** @} */
 
     /** Current transaction totals. */
@@ -141,6 +149,15 @@ class TestSystem
     std::unique_ptr<sim::InvariantChecker> checker;
     std::unique_ptr<TimelineRecorder> recorder;
     std::unique_ptr<sim::shard::ShardedExecutor> shardExec;
+
+    /** @{ Split-link mode (cfg.links.split()). */
+    std::unique_ptr<SplitFabric> fabric;
+    std::unique_ptr<PcieDmaTarget> pcieTarget;
+
+    void validateSplitConfig() const;
+    void buildSplitFabric();
+    void wireSplitMode();
+    /** @} */
 
     void buildShardExecutor();
 

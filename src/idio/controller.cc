@@ -34,7 +34,7 @@ IdioController::IdioController(sim::Simulation &simulation,
       wbThisInterval(hierarchy.numCores(), 0),
       wbAccum(hierarchy.numCores(), 0),
       wbAvg(hierarchy.numCores(), 0),
-      controlEvent(simulation.eventq(), config.controlInterval,
+      controlEvent(eventq(), config.controlInterval,
                    [this] { controlPlaneTick(); },
                    name + ".controlPlane")
 {
@@ -197,7 +197,7 @@ IdioController::unserialize(ckpt::Deserializer &d)
                    name().c_str());
     }
     intervalsSinceAvg = d.readU32();
-    ckpt::unserializeEvent(d, &controlEvent);
+    ckpt::unserializeEvent(d, &controlEvent, &eventq());
 }
 
 } // namespace idio

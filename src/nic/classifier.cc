@@ -44,7 +44,10 @@ IdioClassifier::IdioClassifier(sim::Simulation &simulation,
                                 config.counterInterval)),
       counters(numCores, 0), crossedThis(numCores, false),
       crossedPrev(numCores, false),
-      resetEvent(simulation.eventq(), config.counterInterval,
+      // eventq(), not simulation.eventq(): under a split plan the
+      // classifier lives on the NIC domain's queue and the counter
+      // reset must fire there, not on the uncore queue.
+      resetEvent(eventq(), config.counterInterval,
                  [this] { resetCounters(); }, name + ".counterReset")
 {
 }
@@ -108,7 +111,7 @@ IdioClassifier::unserialize(ckpt::Deserializer &d)
         sim::fatal("ckpt: '%s' per-core vector size mismatch",
                    name().c_str());
     }
-    ckpt::unserializeEvent(d, &resetEvent);
+    ckpt::unserializeEvent(d, &resetEvent, &eventq());
 }
 
 } // namespace nic

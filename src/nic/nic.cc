@@ -217,6 +217,8 @@ Nic::onDescComplete(std::uint32_t descIdx, std::uint32_t queue)
     ring.hwComplete(descIdx);
     IDIO_TRACE_INSTANT(trc, trace::EventKind::NicDescWb, now(),
                        ring.slot(descIdx).pkt.id, queue, descIdx);
+    if (descReady)
+        descReady(queue, descIdx);
 }
 
 void
@@ -322,7 +324,8 @@ Nic::unserialize(ckpt::Deserializer &d)
         wb.queue = d.readU32();
         wb.meta = unserializeTlpMeta(d);
         pendingWbs.push_back(wb);
-        d.deferOneShot(wb.seq, wb.when, [this] { descWbFire(); });
+        d.deferOneShot(wb.seq, wb.when, [this] { descWbFire(); },
+                       &eventq());
     }
 }
 

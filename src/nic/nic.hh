@@ -95,6 +95,16 @@ class Nic : public sim::SimObject
     void setRxTap(RxTap tap) { rxTap = std::move(tap); }
 
     /**
+     * Split-link mode: invoked when a descriptor writeback completes
+     * (the DD bit just set). The harness reads the slot (still in the
+     * NIC's domain) and ships a DescReady message to the owning core's
+     * PMD over the PCIe link.
+     */
+    using DescReadyHook =
+        std::function<void(std::uint32_t queue, std::uint32_t descIdx)>;
+    void setDescReadyHook(DescReadyHook h) { descReady = std::move(h); }
+
+    /**
      * Egress: DMA-read a frame for transmission.
      * @param txDone invoked when the last line has been read.
      * Anonymous-callback variant (not checkpointable while pending);
@@ -172,6 +182,7 @@ class Nic : public sim::SimObject
 
     NicConfig cfg;
     RxTap rxTap;
+    DescReadyHook descReady;
     trace::Source trc;
     FlowDirector fdir;
     DmaEngine dma;

@@ -6,8 +6,8 @@
 #include "executor.hh"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
+
+#include "sim/shard/link.hh"
 
 namespace sim
 {
@@ -19,7 +19,10 @@ ShardedExecutor::ShardedExecutor(unsigned jobs)
 {
 }
 
-ShardedExecutor::~ShardedExecutor() = default;
+ShardedExecutor::~ShardedExecutor()
+{
+    stopWorkers();
+}
 
 DomainId
 ShardedExecutor::addRecord(const std::string &name,
@@ -118,6 +121,70 @@ ShardedExecutor::runGroup(const std::vector<DomainId> &members,
 }
 
 void
+ShardedExecutor::registerChannel(LinkChannelBase *ch)
+{
+    channels.push_back(ch);
+}
+
+void
+ShardedExecutor::flushChannels()
+{
+    for (LinkChannelBase *ch : channels)
+        ch->flush();
+}
+
+void
+ShardedExecutor::startWorkers(unsigned count)
+{
+    workers.reserve(count);
+    for (unsigned w = 0; w < count; ++w)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+void
+ShardedExecutor::stopWorkers()
+{
+    if (workers.empty())
+        return;
+    poolStop.store(true, std::memory_order_release);
+    for (std::thread &t : workers)
+        t.join();
+    workers.clear();
+}
+
+void
+ShardedExecutor::claimGroups()
+{
+    for (;;) {
+        const std::size_t g =
+            poolNext.fetch_add(1, std::memory_order_relaxed);
+        if (g >= poolGroups->size())
+            return;
+        poolCounts[g] = runGroup((*poolGroups)[g], poolWindowEnd);
+    }
+}
+
+void
+ShardedExecutor::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        unsigned spins = 0;
+        while (poolGen.load(std::memory_order_acquire) == seen) {
+            if (poolStop.load(std::memory_order_acquire))
+                return;
+            if (++spins > 256) {
+                std::this_thread::yield();
+                spins = 0;
+            }
+        }
+        seen = poolGen.load(std::memory_order_acquire);
+        claimGroups();
+        poolDone.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
 ShardedExecutor::mergeStagedPosts()
 {
     struct Item
@@ -162,7 +229,9 @@ ShardedExecutor::runUntil(Tick limit)
 
     const std::vector<std::vector<DomainId>> groups = groupTable();
 
-    // Deliver posts staged by setup code before the first window.
+    // Deliver posts/messages staged by setup code before the first
+    // window.
+    flushChannels();
     mergeStagedPosts();
 
     std::uint64_t processed = 0;
@@ -191,31 +260,31 @@ ShardedExecutor::runUntil(Tick limit)
         inWindow = true;
 
         if (groups.size() > 1 && nJobs > 1) {
-            // One worker per group, claimed off a shared index. Group
-            // results land in per-group slots so the sum (and
-            // everything else) is independent of thread scheduling.
-            const unsigned workers = static_cast<unsigned>(
-                std::min<std::size_t>(nJobs, groups.size()));
-            std::vector<std::uint64_t> counts(groups.size(), 0);
-            std::atomic<std::size_t> next{0};
-            std::vector<std::thread> pool;
-            pool.reserve(workers);
-            for (unsigned w = 0; w < workers; ++w) {
-                pool.emplace_back([this, &groups, &counts, &next,
-                                   windowEnd] {
-                    for (;;) {
-                        const std::size_t g =
-                            next.fetch_add(1,
-                                           std::memory_order_relaxed);
-                        if (g >= groups.size())
-                            return;
-                        counts[g] = runGroup(groups[g], windowEnd);
-                    }
-                });
+            // Hand the window to the persistent pool: each group is
+            // claimed off a shared index, and results land in
+            // per-group slots so the sum (and everything else) is
+            // independent of thread scheduling. The main thread
+            // claims groups alongside the workers.
+            if (workers.empty()) {
+                startWorkers(static_cast<unsigned>(std::min<std::size_t>(
+                    nJobs - 1, groups.size() - 1)));
             }
-            for (std::thread &t : pool)
-                t.join();
-            for (std::uint64_t c : counts)
+            poolGroups = &groups;
+            poolWindowEnd = windowEnd;
+            poolCounts.assign(groups.size(), 0);
+            poolNext.store(0, std::memory_order_relaxed);
+            poolDone.store(0, std::memory_order_relaxed);
+            poolGen.fetch_add(1, std::memory_order_release);
+            claimGroups();
+            unsigned spins = 0;
+            while (poolDone.load(std::memory_order_acquire) !=
+                   workers.size()) {
+                if (++spins > 256) {
+                    std::this_thread::yield();
+                    spins = 0;
+                }
+            }
+            for (std::uint64_t c : poolCounts)
                 processed += c;
         } else {
             for (const std::vector<DomainId> &g : groups)
@@ -223,6 +292,7 @@ ShardedExecutor::runUntil(Tick limit)
         }
 
         inWindow = false;
+        flushChannels();
         mergeStagedPosts();
         ++nWindows;
 

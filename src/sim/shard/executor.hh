@@ -33,10 +33,12 @@
 #ifndef IDIO_SIM_SHARD_EXECUTOR_HH
 #define IDIO_SIM_SHARD_EXECUTOR_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -48,6 +50,8 @@ namespace sim
 {
 namespace shard
 {
+
+class LinkChannelBase;
 
 /**
  * Runs per-domain EventQueues under a conservative-window
@@ -121,6 +125,14 @@ class ShardedExecutor
     }
 
     /**
+     * Register a link channel to be flushed at every window barrier
+     * (and before the first window of each run). Registration order is
+     * part of the deterministic barrier order; register channels in
+     * model-construction order. The channel must outlive the executor.
+     */
+    void registerChannel(LinkChannelBase *ch);
+
+    /**
      * Advance all domains to @p limit (inclusive, mirroring
      * EventQueue::runUntil). Every member queue's now() equals
      * @p limit on return unless limit == maxTick.
@@ -167,11 +179,37 @@ class ShardedExecutor
     /** Barrier step: deliver staged posts in deterministic order. */
     void mergeStagedPosts();
 
+    /** Barrier step: flush registered channels in registration order. */
+    void flushChannels();
+
+    /**
+     * @{ Persistent worker pool. Workers park on a generation counter
+     * (spin briefly, then yield) between windows; per-window thread
+     * spawn would dominate at sub-microsecond windows. The main thread
+     * participates as one worker, so the pool holds nJobs - 1 threads,
+     * started lazily at the first multi-group parallel window.
+     */
+    void startWorkers(unsigned count);
+    void stopWorkers();
+    void workerLoop();
+    void claimGroups();
+
+    std::vector<std::thread> workers;
+    std::atomic<std::uint64_t> poolGen{0};
+    std::atomic<bool> poolStop{false};
+    const std::vector<std::vector<DomainId>> *poolGroups = nullptr;
+    Tick poolWindowEnd = 0;
+    std::atomic<std::size_t> poolNext{0};
+    std::atomic<std::size_t> poolDone{0};
+    std::vector<std::uint64_t> poolCounts;
+    /** @} */
+
     unsigned nJobs;
     Tick windowTicks = oneUs;
     bool inWindow = false;
     Tick curWindowEnd = 0;
     std::vector<DomainRec> doms;
+    std::vector<LinkChannelBase *> channels;
     std::uint64_t nWindows = 0;
     std::uint64_t nCrossPosts = 0;
 };

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Latency-carrying cross-domain message channels.
+ *
+ * A LinkChannel is one directed edge of a split ShardPlan: a modelled
+ * interconnect link (PCIe port, mesh hop) between a source timing
+ * domain and a destination domain that live on different event queues.
+ * The source domain calls send() during a conservative window, which
+ * only appends to a single-producer staging deque — no cross-thread
+ * state is touched while domains run in parallel. At each window
+ * barrier the ShardedExecutor flushes every registered channel (in
+ * registration order, single-threaded): each staged message is
+ * scheduled into the destination queue at sendTick + linkLatency and
+ * moved to the in-flight deque. Because the executor window never
+ * exceeds the minimum link latency, a delivery always lands in a later
+ * window than its send — the barrier protocol guarantees the
+ * destination has not advanced past the delivery tick.
+ *
+ * Delivery order is FIFO per channel: the fixed latency makes delivery
+ * ticks ascend with send ticks, and same-tick deliveries inherit the
+ * staging order through the queue's sequence numbers.
+ *
+ * In-flight messages checkpoint: serialize() records the delivery
+ * schedule (tick + sequence) and the message payload; unserialize()
+ * re-registers the deliveries against the destination queue through
+ * the deferred-replay machinery, so a checkpoint taken with messages
+ * on the wire restores bit-identically.
+ *
+ * The message type must provide
+ *     static void serializeMsg(ckpt::Serializer &, const Msg &);
+ *     static Msg unserializeMsg(ckpt::Deserializer &);
+ */
+
+#ifndef IDIO_SIM_SHARD_LINK_HH
+#define IDIO_SIM_SHARD_LINK_HH
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "ckpt/serializer.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/sim_object.hh"
+#include "sim/simulation.hh"
+#include "sim/types.hh"
+
+namespace sim
+{
+namespace shard
+{
+
+/**
+ * Executor-facing channel interface: the barrier flush point.
+ */
+class LinkChannelBase
+{
+  public:
+    virtual ~LinkChannelBase() = default;
+
+    /**
+     * Move every staged message onto the destination queue's schedule.
+     * Called only at window barriers (single-threaded).
+     */
+    virtual void flush() = 0;
+
+    /** Messages staged but not yet flushed. */
+    virtual std::size_t staged() const = 0;
+
+    /** Messages flushed but not yet delivered. */
+    virtual std::size_t inFlight() const = 0;
+};
+
+/**
+ * One directed latency edge carrying messages of type @p Msg.
+ */
+template <typename Msg>
+class LinkChannel : public SimObject, public LinkChannelBase
+{
+  public:
+    using Handler = std::function<void(const Msg &)>;
+
+    /**
+     * @param srcQueue The sender domain's queue (supplies send ticks).
+     * @param dstQueue The receiver domain's queue (deliveries land
+     *        here).
+     * @param latency One-way link latency; must be at least the
+     *        executor's conservative window (the plan derives the
+     *        window as the minimum link latency, so it is).
+     */
+    LinkChannel(Simulation &simulation, const std::string &name,
+                const EventQueue &srcQueue, EventQueue &dstQueue,
+                Tick latency)
+        : SimObject(simulation, name), srcQueue(srcQueue),
+          dstQueue(dstQueue), linkLatency(latency)
+    {
+        SIM_ASSERT(latency > 0, "link channels need a nonzero latency");
+    }
+
+    /** Receiver-side message handler (set once, at construction). */
+    void setHandler(Handler h) { handler = std::move(h); }
+
+    Tick latency() const { return linkLatency; }
+
+    /**
+     * Stage a message for delivery at srcNow + latency. Called only
+     * from the source domain (single producer).
+     */
+    void
+    send(Msg m)
+    {
+        stagedMsgs.push_back(Staged{srcQueue.now(), std::move(m)});
+    }
+
+    void
+    flush() override
+    {
+        for (Staged &st : stagedMsgs) {
+            const Tick at = st.sendTick + linkLatency;
+            const std::uint64_t seq =
+                dstQueue.schedule(at, [this] { deliverFront(); });
+            inflight.push_back(
+                InFlight{at, seq, std::move(st.msg)});
+        }
+        stagedMsgs.clear();
+    }
+
+    std::size_t staged() const override { return stagedMsgs.size(); }
+    std::size_t inFlight() const override { return inflight.size(); }
+
+    void
+    serialize(ckpt::Serializer &s) const override
+    {
+        SIM_ASSERT(stagedMsgs.empty(),
+                   "checkpoint taken mid-window (staged link messages)");
+        s.writeU64(inflight.size());
+        for (const InFlight &f : inflight) {
+            s.writeTick(f.when);
+            s.writeU64(f.seq);
+            Msg::serializeMsg(s, f.msg);
+        }
+    }
+
+    void
+    unserialize(ckpt::Deserializer &d) override
+    {
+        inflight.clear();
+        const std::uint64_t n = d.readU64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            InFlight f;
+            f.when = d.readTick();
+            f.seq = d.readU64();
+            f.msg = Msg::unserializeMsg(d);
+            inflight.push_back(std::move(f));
+            d.deferOneShot(f.seq, f.when, [this] { deliverFront(); },
+                           &dstQueue);
+        }
+    }
+
+  private:
+    struct Staged
+    {
+        Tick sendTick;
+        Msg msg;
+    };
+
+    struct InFlight
+    {
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        Msg msg;
+    };
+
+    /**
+     * Deliveries fire in the order they were flushed (fixed latency =>
+     * ascending delivery ticks; ties keep staging order through the
+     * queue sequence numbers), so the front is always the one due.
+     */
+    void
+    deliverFront()
+    {
+        SIM_ASSERT(!inflight.empty(),
+                   "link delivery fired with nothing in flight");
+        const Msg m = std::move(inflight.front().msg);
+        inflight.pop_front();
+        handler(m);
+    }
+
+    const EventQueue &srcQueue;
+    EventQueue &dstQueue;
+    Tick linkLatency;
+    Handler handler;
+    std::deque<Staged> stagedMsgs;
+    std::deque<InFlight> inflight;
+};
+
+} // namespace shard
+} // namespace sim
+
+#endif // IDIO_SIM_SHARD_LINK_HH

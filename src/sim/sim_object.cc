@@ -11,7 +11,8 @@ namespace sim
 {
 
 SimObject::SimObject(Simulation &simulation, std::string name)
-    : sim(simulation), _name(std::move(name))
+    : sim(simulation), eq(&simulation.constructionQueue()),
+      _name(std::move(name))
 {
     sim.registerObject(this);
 }
@@ -31,12 +32,6 @@ SimObject::unserialize(ckpt::Deserializer &)
 {
 }
 
-EventQueue &
-SimObject::eventq() const
-{
-    return sim.eventq();
-}
-
 trace::Tracer &
 SimObject::tracer() const
 {
@@ -46,7 +41,7 @@ SimObject::tracer() const
 Tick
 SimObject::now() const
 {
-    return sim.now();
+    return eq->now();
 }
 
 } // namespace sim

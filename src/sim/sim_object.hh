@@ -55,13 +55,17 @@ class SimObject
     /** Owning simulation. */
     Simulation &simulation() const { return sim; }
 
-    /** Event queue shorthand. */
-    EventQueue &eventq() const;
+    /**
+     * Event queue shorthand: the timing-domain queue this object was
+     * constructed under (the simulation's main queue unless the
+     * harness bound an auxiliary domain queue around construction).
+     */
+    EventQueue &eventq() const { return *eq; }
 
     /** Event tracer shorthand. */
     trace::Tracer &tracer() const;
 
-    /** Current simulated time shorthand. */
+    /** Current simulated time shorthand (this object's domain queue). */
     Tick now() const;
 
     /**
@@ -81,6 +85,7 @@ class SimObject
     Simulation &sim;
 
   private:
+    EventQueue *eq;
     std::string _name;
 };
 

@@ -96,6 +96,40 @@ class Simulation
         return queue.runUntil(queue.now() + delta);
     }
 
+    /**
+     * @{ Auxiliary per-domain event queues (sharded execution).
+     *
+     * A split ShardPlan places each timing domain on its own queue; the
+     * harness creates them before constructing the domain's components
+     * and the ShardedExecutor advances them under the conservative
+     * window. Creation order is deterministic (model construction is),
+     * which the checkpoint layer relies on. A simulation with no
+     * auxiliary queues behaves exactly as before.
+     */
+    EventQueue &addDomainQueue(std::string name);
+    std::size_t domainQueueCount() const { return auxQueues.size(); }
+    EventQueue &domainQueue(std::size_t i) { return *auxQueues[i]; }
+    const std::string &domainQueueName(std::size_t i) const
+    {
+        return auxNames[i];
+    }
+    /** @} */
+
+    /**
+     * @{ Construction-time queue binding. SimObjects capture the
+     * current construction queue in their constructor; the harness
+     * brackets each domain's component construction with
+     * bindConstructionQueue(&domainQueue)/bindConstructionQueue(nullptr).
+     * The default (nullptr) binds to the main queue, so existing
+     * single-queue models are untouched.
+     */
+    void bindConstructionQueue(EventQueue *q) { buildQueue = q; }
+    EventQueue &constructionQueue()
+    {
+        return buildQueue ? *buildQueue : queue;
+    }
+    /** @} */
+
   private:
     EventQueue queue;
     Rng rootRng;
@@ -103,6 +137,9 @@ class Simulation
     std::unique_ptr<stats::Registry> statsReg;
     std::unique_ptr<trace::Tracer> tracerPtr;
     std::vector<SimObject *> objs;
+    std::vector<std::unique_ptr<EventQueue>> auxQueues;
+    std::vector<std::string> auxNames;
+    EventQueue *buildQueue = nullptr;
 };
 
 } // namespace sim

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "sim/shard/executor.hh"
@@ -88,6 +89,53 @@ TEST(ShardPlan, ZeroLatencyAsyncEdgeFuses)
     plan.asyncEdge(a, b, 0);
     const auto r = plan.resolve();
     EXPECT_EQ(r.groups, 1u);
+}
+
+TEST(ShardPlan, SplitTopologyWindowIsMinLinkLatency)
+{
+    // The TestSystem split plan's exact shape: NIC and per-core
+    // domains star-connected to the uncore with mixed PCIe/mesh
+    // latencies. Everything stays in its own group and the window is
+    // the minimum edge — the mesh hop.
+    constexpr Tick pcie = 500;
+    constexpr Tick mesh = 250;
+    ShardPlan plan;
+    const auto uncore = plan.addDomain("uncore");
+    const auto nic = plan.addDomain("nic");
+    plan.asyncEdge(nic, uncore, pcie);
+    std::vector<DomainId> cores;
+    for (int i = 0; i < 4; ++i) {
+        const auto d = plan.addDomain("core" + std::to_string(i));
+        plan.asyncEdge(d, uncore, mesh);
+        plan.asyncEdge(d, nic, pcie);
+        cores.push_back(d);
+    }
+    const auto r = plan.resolve();
+    EXPECT_EQ(r.groups, 6u);
+    EXPECT_EQ(r.window, mesh);
+    for (const auto d : cores) {
+        EXPECT_NE(r.groupOf[d], r.groupOf[uncore]);
+        EXPECT_NE(r.groupOf[d], r.groupOf[nic]);
+    }
+}
+
+TEST(ShardPlan, ZeroLatencyLinkCollapsesSplitTopology)
+{
+    // A zero-latency mesh degenerates the same topology back to one
+    // fused group: the fallback legacy configs rely on (the PCIe
+    // latency becomes intra-group and stops constraining the window).
+    ShardPlan plan;
+    const auto uncore = plan.addDomain("uncore");
+    const auto nic = plan.addDomain("nic");
+    plan.asyncEdge(nic, uncore, 500);
+    for (int i = 0; i < 4; ++i) {
+        const auto d = plan.addDomain("core" + std::to_string(i));
+        plan.asyncEdge(d, uncore, 0);
+        plan.asyncEdge(d, nic, 0);
+    }
+    const auto r = plan.resolve();
+    EXPECT_EQ(r.groups, 1u);
+    EXPECT_EQ(r.window, sim::maxTick);
 }
 
 TEST(ShardedExecutor, SingleDomainMatchesPlainRunUntil)
