@@ -72,6 +72,10 @@ namespace bench
  *               groups instead of one fused group.
  *   --scaled-only (perf_smoke) run only the scaled split-plan
  *               measurement; used by the CI scaling job.
+ *   --micro-reps=N (perf_smoke) repeat each micro N times after one
+ *               discarded warm-up pass and report the minimum
+ *               (default 3) — min-of-N filters host scheduling noise
+ *               out of the committed trajectory.
  *   --artifacts=PREFIX (perf_smoke) write the scaled split run's
  *               stats JSON and event trace to PREFIX.stats.json /
  *               PREFIX.trace.json for cross-process byte-comparison.
@@ -92,6 +96,7 @@ struct BenchOptions
     double linkMeshNs = 0.0;
     bool scaledOnly = false;
     std::string artifactsPrefix;
+    unsigned microReps = 3;
 };
 
 /**
@@ -159,6 +164,10 @@ parseBenchOptions(int argc, char **argv)
             opts.scaledOnly = true;
         } else if (arg.rfind("--artifacts=", 0) == 0) {
             opts.artifactsPrefix = arg.substr(12);
+        } else if (arg.rfind("--micro-reps=", 0) == 0) {
+            const unsigned n = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 13, nullptr, 10));
+            opts.microReps = n ? n : 1;
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: %s [--jobs=N] [--json=FILE] [--trace=FILE]\n"
@@ -189,7 +198,9 @@ parseBenchOptions(int argc, char **argv)
                 "  --scaled-only (perf_smoke) run only the scaled "
                 "split-plan measurement\n"
                 "  --artifacts=PREFIX (perf_smoke) dump the scaled "
-                "run's stats+trace for byte-compare\n",
+                "run's stats+trace for byte-compare\n"
+                "  --micro-reps=N (perf_smoke) min-of-N micro timing "
+                "with a warm-up pass (default 3)\n",
                 argv[0], harness::SweepRunner::hardwareJobs());
             std::exit(0);
         } else {

@@ -63,6 +63,61 @@ BM_EventQueueSquashCompact(benchmark::State &state)
 BENCHMARK(BM_EventQueueSquashCompact);
 
 void
+BM_EventQueueSameTickFanout(benchmark::State &state)
+{
+    // Fused same-tick dispatch: N one-shots land on one tick and the
+    // level-0 slot drains in a single batched pass.
+    constexpr int fanout = 32;
+    sim::EventQueue q;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        const sim::Tick at = q.now() + 8;
+        for (int i = 0; i < fanout; ++i)
+            q.schedule(at, [&sink] { ++sink; });
+        q.runUntil(at);
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * fanout);
+}
+BENCHMARK(BM_EventQueueSameTickFanout);
+
+void
+BM_EventQueueCascadeCrossing(benchmark::State &state)
+{
+    // Level-1/2 traffic: deltas past the 256-tick level-0 span force
+    // slot placement in the upper levels and a cascade back down on
+    // every advance. Measures the placement + cascade round trip that
+    // long-period timers (retransmit, sweep barriers) pay.
+    constexpr sim::Tick delta = 1 << 12; // level-1 span
+    sim::EventQueue q;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        q.schedule(q.now() + delta, [&sink] { ++sink; });
+        q.runUntil(q.now() + delta);
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueCascadeCrossing);
+
+void
+BM_EventQueueOverflowSpill(benchmark::State &state)
+{
+    // Beyond-horizon traffic: deltas past the 2^24-tick wheel span
+    // spill to the overflow heap and are refilled into the wheel when
+    // the base crosses into their block. Worst case for the wheel —
+    // every event pays heap push + refill placement + cascade.
+    constexpr sim::Tick delta = sim::Tick(1) << 26;
+    sim::EventQueue q;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        q.schedule(q.now() + delta, [&sink] { ++sink; });
+        q.runUntil(q.now() + delta);
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueOverflowSpill);
+
+void
 BM_TagSetIndexPow2(benchmark::State &state)
 {
     // 1024 sets: the bitmask fast path (every Table I geometry).

@@ -32,7 +32,11 @@ void
 saveEventq(Serializer &s, sim::EventQueue &eq,
            const std::string &section = "_eventq")
 {
-    s.beginSection(section);
+    s.beginSection(section, /*version=*/2);
+    s.writeU8(static_cast<std::uint8_t>(eq.backend()));
+    s.writeU32(sim::EventQueueRestoreAccess::wheelLevels());
+    s.writeU32(sim::EventQueueRestoreAccess::wheelSlotBits());
+    s.writeTick(sim::EventQueueRestoreAccess::wheelBase(eq));
     s.writeTick(eq.now());
     s.writeU64(sim::EventQueueRestoreAccess::nextSeq(eq));
     s.writeU64(eq.processedEvents());
@@ -45,13 +49,44 @@ void
 restoreEventq(Deserializer &d, sim::EventQueue &eq,
               const std::string &section)
 {
-    d.beginSection(section);
+    const std::uint32_t version = d.beginSection(section);
+    if (version != 2)
+        sim::fatal("ckpt: '%s' section version %u; this build reads "
+                   "version 2",
+                   section.c_str(), version);
+    const std::uint8_t backend = d.readU8();
+    const std::uint32_t levels = d.readU32();
+    const std::uint32_t slotBits = d.readU32();
+    const sim::Tick wheelBase = d.readTick();
     const sim::Tick tick = d.readTick();
     const std::uint64_t nextSeq = d.readU64();
     const std::uint64_t nProcessed = d.readU64();
     const std::uint64_t sinceHook = d.readU64();
     const std::uint64_t pendingCount = d.readU64();
     d.endSection();
+
+    // Validate scheduler identity eagerly: the pending set was already
+    // replayed into this queue, so drift between the checkpointed and
+    // live wheel would otherwise surface as a silent ordering change.
+    if (backend != static_cast<std::uint8_t>(eq.backend()))
+        sim::fatal("ckpt: '%s' was checkpointed under the %s backend "
+                   "but this run uses %s; set IDIO_EVENTQ to match",
+                   section.c_str(),
+                   sim::EventQueue::backendName(
+                       static_cast<sim::SchedulerBackend>(backend)),
+                   sim::EventQueue::backendName(eq.backend()));
+    if (levels != sim::EventQueueRestoreAccess::wheelLevels() ||
+        slotBits != sim::EventQueueRestoreAccess::wheelSlotBits())
+        sim::fatal("ckpt: '%s' wheel geometry %u levels x 2^%u slots "
+                   "does not match this build (%u x 2^%u)",
+                   section.c_str(), levels, slotBits,
+                   sim::EventQueueRestoreAccess::wheelLevels(),
+                   sim::EventQueueRestoreAccess::wheelSlotBits());
+    if (wheelBase > tick)
+        sim::fatal("ckpt: '%s' wheel base %llu is ahead of the "
+                   "checkpointed tick %llu (corrupt section)",
+                   section.c_str(), (unsigned long long)wheelBase,
+                   (unsigned long long)tick);
 
     if (eq.pending() != pendingCount)
         sim::fatal("ckpt: restored %zu pending events in '%s' but the "

@@ -58,8 +58,13 @@ class EventQueue;
 namespace ckpt
 {
 
-/** Whole-file format version; bumped on any layout change. */
-constexpr std::uint32_t formatVersion = 2;
+/**
+ * Whole-file format version; bumped on any layout change.
+ * v3: _eventq sections carry the scheduler backend tag, the timing-
+ * wheel base tick and the wheel geometry (levels, slot bits), and
+ * link-channel sections store batched delivery records.
+ */
+constexpr std::uint32_t formatVersion = 3;
 
 /** File magic, first 8 bytes of every checkpoint. */
 constexpr std::array<char, 8> magic = {'I', 'D', 'I', 'O',

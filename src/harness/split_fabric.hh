@@ -24,6 +24,12 @@
  * VictimWb always reaches the directory before its next FillReq for
  * the same set, and a fill install always lands before a subsequent
  * back-invalidation of the same line.
+ *
+ * Sharing a channel also concentrates traffic: LinkChannel flushes a
+ * window's worth of same-delivery-tick SplitMsgs as one batched
+ * scheduler insertion on the destination queue (see
+ * sim/shard/link.hh), so fabric cost scales with delivery *ticks*,
+ * not with message count.
  */
 
 #ifndef IDIO_HARNESS_SPLIT_FABRIC_HH

@@ -104,6 +104,16 @@ registerEventQueueInvariants(InvariantChecker &checker, EventQueue &eq)
             }
         });
 
+    // Structural audit of the scheduler internals: wheel occupancy
+    // bitmaps, slot placement/ordering, overflow-heap squash counts
+    // and the live-entry accounting must all agree.
+    checker.registerInvariant(
+        "eventq.self-consistent", [&eq](InvariantReport &report) {
+            if (!eq.selfCheckConsistent())
+                report.fail("scheduler structures inconsistent "
+                            "(wheel slots/bitmaps/overflow accounting)");
+        });
+
     // Dequeue-tick monotonicity: time observed by consecutive sweeps
     // must never move backwards.
     auto lastSeen = std::make_shared<Tick>(0);

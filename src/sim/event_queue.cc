@@ -1,12 +1,37 @@
 /**
  * @file
- * EventQueue implementation.
+ * EventQueue implementation: the hierarchical-timing-wheel scheduler,
+ * its binary-heap reference backend, and the shared dispatch machinery
+ * (fused same-tick drain, overflow compaction, one-shot pooling).
  */
 
 #include "event_queue.hh"
 
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+
 namespace sim
 {
+
+namespace
+{
+
+constexpr std::size_t bitmapNpos = ~std::size_t(0);
+
+/** Index of the lowest set bit across a level's occupancy words. */
+std::size_t
+lowestSetIndex(const std::array<std::uint64_t, 4> &words)
+{
+    for (std::size_t w = 0; w < words.size(); ++w) {
+        if (words[w])
+            return w * 64 +
+                   static_cast<std::size_t>(__builtin_ctzll(words[w]));
+    }
+    return bitmapNpos;
+}
+
+} // namespace
 
 Event::~Event()
 {
@@ -18,21 +43,53 @@ Event::~Event()
         panic("event destroyed while scheduled");
 }
 
+SchedulerBackend
+EventQueue::defaultBackend()
+{
+    static const SchedulerBackend cached = [] {
+        const char *env = std::getenv("IDIO_EVENTQ");
+        if (!env || !*env || !std::strcmp(env, "wheel"))
+            return SchedulerBackend::TimingWheel;
+        if (!std::strcmp(env, "heap"))
+            return SchedulerBackend::BinaryHeap;
+        panic("unknown IDIO_EVENTQ value '%s' "
+              "(expected 'wheel' or 'heap')",
+              env);
+    }();
+    return cached;
+}
+
+const char *
+EventQueue::backendName(SchedulerBackend b)
+{
+    return b == SchedulerBackend::BinaryHeap ? "heap" : "wheel";
+}
+
+EventQueue::EventQueue(SchedulerBackend b)
+    : useHeap(b == SchedulerBackend::BinaryHeap)
+{
+}
+
 EventQueue::~EventQueue()
 {
     // Unmark remaining live entries so their owners can destroy them
     // afterwards. Pooled one-shot nodes are owned by oneShotPool and
-    // destroyed with it (their destructor disarms any stored callable);
-    // squashed entries are null already.
-    for (Entry &e : heap) {
-        if (e.ev)
-            e.ev->_scheduled = false;
-    }
-    heap.clear();
+    // destroyed with it (their destructor disarms any stored
+    // callable); squashed/tombstoned entries are null already.
+    auto unmark = [](std::vector<Entry> &v) {
+        for (Entry &e : v)
+            if (e.evTag && !e.owned())
+                e.ev()->_scheduled = false;
+    };
+    for (auto &level : slots)
+        for (auto &slot : level)
+            unmark(slot);
+    unmark(drainBatch);
+    unmark(heap);
 }
 
 void
-EventQueue::push(Entry e)
+EventQueue::push(const Entry &e)
 {
     heap.push_back(e);
     std::push_heap(heap.begin(), heap.end(), EntryAfter{});
@@ -81,7 +138,7 @@ EventQueue::schedule(Event *ev, Tick when)
     ev->_scheduled = true;
     ev->_when = when;
     ev->_seq = nextSeq;
-    push(Entry{when, nextSeq++, ev, false});
+    insert(Entry{when, nextSeq++, Entry::tag(ev, false)});
 }
 
 void
@@ -89,110 +146,345 @@ EventQueue::deschedule(Event *ev)
 {
     if (!ev->_scheduled)
         panic("descheduling unscheduled event '%s'", ev->name().c_str());
-    // Null the heap entry in place: once descheduled, the owner may
-    // destroy the Event immediately, so the queue must not keep the
-    // pointer. O(pending), but descheduling only happens at stop/idle
-    // transitions. Nulling does not disturb the heap order (ordering
-    // keys are when/seq only).
+
+    const Tick when = ev->_when;
+    const std::uint64_t seq = ev->_seq;
+    ev->_scheduled = false;
+    --livePending;
+
+    if (minValid && when == cachedMin)
+        minValid = false;
+
+    const unsigned l = useHeap ? numLevels : levelFor(when);
+    if (l < numLevels) {
+        // Wheel-resident: erase the entry exactly. No tombstones in
+        // slots — deschedule churn cannot bloat the wheel.
+        const std::size_t idx = slotIndex(l, when);
+        auto &slot = slots[l][idx];
+        for (auto it = slot.begin(); it != slot.end(); ++it) {
+            if (it->seq == seq) {
+                slot.erase(it);
+                if (slot.empty())
+                    clearSlotMark(l, idx);
+                return;
+            }
+        }
+        // Not in its slot: the event's tick is being drained right now
+        // and the entry sits in the swapped-out batch. Tombstone it
+        // there so the dispatch loop skips it.
+        if (draining) {
+            for (std::size_t i = drainPos + 1; i < drainBatch.size();
+                 ++i) {
+                if (drainBatch[i].evTag && drainBatch[i].seq == seq) {
+                    drainBatch[i].evTag = 0;
+                    return;
+                }
+            }
+        }
+        SIM_ASSERT(false, "scheduled event missing from its wheel slot");
+        return;
+    }
+
+    // Overflow heap (or BinaryHeap backend): null the entry in place.
+    // Once descheduled, the owner may destroy the Event immediately, so
+    // the queue must not keep the pointer. Nulling does not disturb the
+    // heap order (ordering keys are when/seq only).
     for (Entry &e : heap) {
-        if (e.ev == ev && e.seq == ev->_seq) {
-            e.ev = nullptr;
-            break;
+        if (e.ev() == ev && e.seq == seq) {
+            e.evTag = 0;
+            ++squashedCount;
+            // Lazy compaction: once squashed entries outnumber live
+            // ones the heap is mostly dead weight — rebuild it from
+            // the survivors so heap.size() stays within 2x of its
+            // live population no matter how much a workload
+            // deschedules.
+            if (squashedCount * 2 > heap.size())
+                compact();
+            return;
         }
     }
-    ev->_scheduled = false;
-    ++squashedCount;
-
-    // Lazy compaction: once squashed entries outnumber live ones the
-    // heap is mostly dead weight — rebuild it from the survivors so
-    // heap.size() stays within 2x of pending() no matter how much a
-    // workload deschedules.
-    if (squashedCount * 2 > heap.size())
-        compact();
+    SIM_ASSERT(false, "scheduled event missing from the overflow heap");
 }
 
 void
 EventQueue::compact()
 {
-    const std::size_t livePending = heap.size() - squashedCount;
+    const std::size_t liveHeap = heap.size() - squashedCount;
     heap.erase(std::remove_if(
                    heap.begin(), heap.end(),
                    [](const Entry &e) { return squashed(e); }),
                heap.end());
     std::make_heap(heap.begin(), heap.end(), EntryAfter{});
     squashedCount = 0;
-    SIM_ASSERT(pending() == livePending,
+    SIM_ASSERT(heap.size() == liveHeap,
                "squashed-entry compaction changed pending()");
+}
+
+void
+EventQueue::advanceSlow(Tick t)
+{
+    const Tick x = wheelBase ^ t;
+    // Set the base first: the cascade/refill placement below is
+    // relative to the NEW base, so moved entries land in lower levels
+    // (or the overflow pulls into exact slots) and are never
+    // re-visited by this advance.
+    wheelBase = t;
+    if (!useHeap && (x >> spanBits)) {
+        // Crossed into a new 2^24-tick block: pull the now-in-horizon
+        // overflow events back into the wheel.
+        refillFromOverflow(t);
+    }
+    if (x >> (2 * slotBits))
+        cascade(2, slotIndex(2, t));
+    cascade(1, slotIndex(1, t));
+}
+
+void
+EventQueue::cascade(unsigned level, std::size_t idx)
+{
+    auto &slot = slots[level][idx];
+    if (slot.empty())
+        return;
+    // Swap out before re-placing: every entry here shares tick bits
+    // with the new base down through this level, so placeWheel targets
+    // strictly lower levels and never appends back into `slot`.
+    cascadeScratch.clear();
+    cascadeScratch.swap(slot);
+    clearSlotMark(level, idx);
+    for (const Entry &e : cascadeScratch)
+        placeWheel(e);
+    cascadeScratch.clear();
+}
+
+void
+EventQueue::refillFromOverflow(Tick t)
+{
+    const Tick blockEnd = t | ((Tick(1) << spanBits) - 1);
+    for (;;) {
+        dropSquashedTop();
+        if (heap.empty() || heap.front().when > blockEnd)
+            break;
+        const Entry e = popTop();
+        placeWheel(e);
+    }
+}
+
+Tick
+EventQueue::computeMin()
+{
+    // Mid-drain remnants of the active tick still count as pending.
+    if (draining) {
+        for (std::size_t i = drainPos; i < drainBatch.size(); ++i)
+            if (drainBatch[i].evTag)
+                return curTick;
+    }
+    // Level hierarchy: every live level-0 tick precedes every level-1
+    // tick, which precedes every level-2 tick, which precedes every
+    // overflow tick — so the first occupied level decides the min.
+    if (!levelEmpty(0)) {
+        const std::size_t idx = lowestSetIndex(occupied[0]);
+        return (wheelBase & ~Tick(slotMask)) | Tick(idx);
+    }
+    for (unsigned l = 1; l < numLevels; ++l) {
+        if (levelEmpty(l))
+            continue;
+        const std::size_t idx = lowestSetIndex(occupied[l]);
+        Tick best = maxTick;
+        for (const Entry &e : slots[l][idx])
+            best = std::min(best, e.when);
+        return best;
+    }
+    dropSquashedTop();
+    return heap.empty() ? maxTick : heap.front().when;
 }
 
 Tick
 EventQueue::nextEventTick() const
 {
     Tick earliest = maxTick;
-    for (const Entry &e : heap) {
+    for (const auto &level : slots)
+        for (const auto &slot : level)
+            for (const Entry &e : slot)
+                if (e.when < earliest)
+                    earliest = e.when;
+    for (std::size_t i = drainPos; i < drainBatch.size(); ++i)
+        if (drainBatch[i].evTag && drainBatch[i].when < earliest)
+            earliest = drainBatch[i].when;
+    for (const Entry &e : heap)
         if (!squashed(e) && e.when < earliest)
             earliest = e.when;
-    }
     return earliest;
 }
 
 std::uint64_t
-EventQueue::runUntil(Tick limit)
+EventQueue::fireTickSlow()
 {
-    std::uint64_t processed = 0;
-    while (true) {
-        // peekNextTick() prunes squashed tops, so afterwards the heap
-        // front (if any) is the next live event.
-        const Tick next = peekNextTick();
-        if (heap.empty() || next > limit)
-            break;
-
-        Entry e = popTop();
-        curTick = e.when;
-        e.ev->_scheduled = false;
-        e.ev->process();
-        if (e.owned)
-            releaseOneShot(static_cast<OneShotEvent *>(e.ev));
-        ++processed;
-        ++nProcessed;
-
-        if (hookEvery && ++sinceHook >= hookEvery) {
-            sinceHook = 0;
-            postEventHook();
+    std::uint64_t fired = 0;
+    if (!useHeap) {
+        // Every curTick entry lives in the level-0 slot (the overflow
+        // refill runs before the base reaches a block). Swap the slot
+        // out and fire it in one pass; events scheduled into the same
+        // tick mid-drain land in the (now empty) slot and are picked
+        // up by the outer loop — still in seq order, since new seqs
+        // exceed every batched one.
+        const std::size_t idx = slotIndex(0, curTick);
+        auto &slot = slots[0][idx];
+        draining = true;
+        const auto bySeq = [](const Entry &a, const Entry &b) {
+            return a.seq < b.seq;
+        };
+        while (!slot.empty()) {
+            drainBatch.swap(slot);
+            clearSlotMark(0, idx);
+            // A level-0 slot covers a single tick, and same-tick
+            // entries are seq-sorted by construction: direct appends
+            // use fresh ascending seqs, and cascades/refills preserve
+            // the relative order of same-tick entries. (Whole
+            // level-1/2 slots are NOT seq-sorted — the overflow
+            // refill interleaves ticks in (when, seq) order — but
+            // that never reaches this drain unsorted.) Keep a
+            // defensive re-sort behind the cheap check.
+            if (!std::is_sorted(drainBatch.begin(), drainBatch.end(),
+                                bySeq))
+                std::sort(drainBatch.begin(), drainBatch.end(), bySeq);
+            for (drainPos = 0; drainPos < drainBatch.size();
+                 ++drainPos) {
+                const Entry e = drainBatch[drainPos];
+                if (!e.evTag)
+                    continue; // descheduled mid-drain
+                fireEntry(e);
+                ++fired;
+            }
+            drainBatch.clear();
+            drainPos = 0;
         }
     }
-    if (curTick < limit && limit != maxTick)
-        curTick = limit;
-    return processed;
+    // BinaryHeap backend — and, defensively, any overflow entry at
+    // exactly curTick (the wheel backend never leaves one there).
+    for (;;) {
+        dropSquashedTop();
+        if (heap.empty() || heap.front().when != curTick)
+            break;
+        fireEntry(popTop());
+        ++fired;
+    }
+    draining = false;
+    // The cached min was consumed. An empty queue re-validates at
+    // maxTick immediately, so the dominant schedule-one/run-one cycle
+    // updates the min on schedule and skips the recompute entirely.
+    cachedMin = maxTick;
+    minValid = empty();
+    return fired;
+}
+
+void
+EventQueue::fireOneOverflow()
+{
+    dropSquashedTop();
+    SIM_ASSERT(!heap.empty() && heap.front().when == curTick,
+               "fireOne() with no event at the current tick");
+    fireEntry(popTop());
+    if (livePending == 0)
+        minValid = true;
 }
 
 bool
-EventQueue::runOne(Tick limit)
+EventQueue::selfCheckConsistent() const
 {
-    // Mirrors one iteration of runUntil(), including the final
-    // advance-to-limit when nothing (more) is eligible, so that a
-    // sequence of runOne(limit) calls is indistinguishable from one
-    // runUntil(limit).
-    const Tick next = peekNextTick();
-    if (heap.empty() || next > limit) {
-        if (curTick < limit && limit != maxTick)
-            curTick = limit;
+    std::size_t liveInWheel = 0;
+    std::size_t squashedInHeap = 0;
+    std::unordered_map<Tick, std::uint64_t> seqByTick;
+
+    for (unsigned l = 0; l < numLevels; ++l) {
+        for (std::size_t idx = 0; idx < slotCount; ++idx) {
+            const auto &slot = slots[l][idx];
+            const bool marked =
+                ((occupied[l][idx >> 6] >> (idx & 63)) & 1) != 0;
+            if (marked != !slot.empty())
+                return false;
+            // Entries sharing a tick must appear in ascending seq
+            // order — that is the order the level-0 drain fires them
+            // in, and cascades preserve relative order on the way
+            // down. Whole level-1/2 slots need NOT be seq-sorted: the
+            // overflow refill emits entries in (when, seq) order, so
+            // a multi-tick slot can interleave ticks out of seq
+            // order. A level-0 slot covers a single tick, so there
+            // the same-tick rule makes the whole slot seq-sorted.
+            seqByTick.clear();
+            for (const Entry &e : slot) {
+                if (!e.evTag)
+                    return false; // tombstone outside the drain batch
+                if (levelFor(e.when) != l ||
+                    slotIndex(l, e.when) != idx)
+                    return false;
+                if (e.when < wheelBase)
+                    return false; // live event in the past
+                const auto [it, fresh] =
+                    seqByTick.emplace(e.when, e.seq);
+                if (!fresh) {
+                    if (e.seq <= it->second)
+                        return false; // same-tick entries out of order
+                    it->second = e.seq;
+                }
+                ++liveInWheel;
+            }
+        }
+    }
+    // When called from the post-event hook mid-drain, drainPos still
+    // points at the entry being fired (its livePending share is
+    // already gone); only entries after it are still live.
+    const std::size_t firstLive = drainPos + (draining ? 1 : 0);
+    for (std::size_t i = firstLive; i < drainBatch.size(); ++i)
+        if (drainBatch[i].evTag)
+            ++liveInWheel;
+
+    for (const Entry &e : heap) {
+        if (squashed(e)) {
+            ++squashedInHeap;
+            continue;
+        }
+        if (!useHeap && !draining &&
+            !((e.when ^ wheelBase) >> spanBits))
+            return false; // in-horizon event stuck in the overflow
+    }
+    if (squashedInHeap != squashedCount)
         return false;
-    }
+    if (livePending != liveInWheel + heap.size() - squashedInHeap)
+        return false;
 
-    Entry e = popTop();
-    curTick = e.when;
-    e.ev->_scheduled = false;
-    e.ev->process();
-    if (e.owned)
-        releaseOneShot(static_cast<OneShotEvent *>(e.ev));
-    ++nProcessed;
+    return wheelBase <= curTick;
+}
 
-    if (hookEvery && ++sinceHook >= hookEvery) {
-        sinceHook = 0;
-        postEventHook();
-    }
-    return true;
+void
+EventQueueRestoreAccess::clearPending(EventQueue &eq)
+{
+    SIM_ASSERT(!eq.draining,
+               "checkpoint restore from inside event dispatch");
+    auto drop = [&eq](std::vector<EventQueue::Entry> &v) {
+        for (EventQueue::Entry &e : v) {
+            if (!e.evTag)
+                continue;
+            if (e.owned()) {
+                eq.releaseOneShot(static_cast<OneShotEvent *>(e.ev()));
+            } else {
+                e.ev()->_scheduled = false;
+            }
+        }
+        v.clear();
+    };
+    for (auto &level : eq.slots)
+        for (auto &slot : level)
+            drop(slot);
+    for (auto &words : eq.occupied)
+        words.fill(0);
+    drop(eq.drainBatch);
+    eq.drainPos = 0;
+    drop(eq.heap);
+    eq.livePending = 0;
+    eq.squashedCount = 0;
+    eq.nextSeq = 0;
+    eq.cachedMin = maxTick;
+    eq.minValid = true;
 }
 
 } // namespace sim

@@ -2,18 +2,40 @@
  * @file
  * Discrete-event simulation kernel.
  *
- * The EventQueue keeps a priority queue of (tick, sequence, callback)
- * entries. Events scheduled for the same tick fire in insertion order,
- * which makes simulations fully deterministic. Components either
- * schedule one-shot callbacks or derive from Event for reschedulable
- * events (e.g.\ periodic control-plane sampling).
+ * The EventQueue totally orders (tick, sequence, callback) entries.
+ * Events scheduled for the same tick fire in insertion order, which
+ * makes simulations fully deterministic. Components either schedule
+ * one-shot callbacks or derive from Event for reschedulable events
+ * (e.g.\ periodic control-plane sampling).
+ *
+ * Two scheduler backends produce the identical (tick, seq) firing
+ * order:
+ *
+ *  - TimingWheel (default): a hierarchical timing wheel — three
+ *    levels of 256 slots each (8 bits of tick per level, 2^24 ticks
+ *    of horizon). Level-0 slots cover exactly one tick, so a slot IS
+ *    the same-tick dispatch batch: schedule, deschedule and pop are
+ *    O(1) for the short-horizon events that dominate the workload
+ *    (per-cacheline DMA completions, 250–500 ns link hops, ring
+ *    polls, 1 us telemetry). Events beyond the horizon spill to a
+ *    binary-heap overflow level and are pulled back into the wheel
+ *    when the wheel base crosses into their 2^24 block.
+ *  - BinaryHeap: the reference std::push_heap/std::pop_heap
+ *    implementation, kept for the differential scheduler tests and
+ *    the nightly backend comparison (IDIO_EVENTQ=heap).
+ *
+ * Fused same-tick dispatch: runUntil()/runSameTick() drain all events
+ * of the current tick in one pass (in seq order) without re-entering
+ * the scheduler between them. runOne() still fires exactly one event
+ * for the sharded executor's fine-grained interleave.
  *
  * One-shot callbacks are stored in pooled OneShotEvent nodes with
  * inline callable storage: scheduling one performs no heap allocation
  * once the pool is warm (callables larger than the inline buffer spill
- * to the heap, which no simulator callback does today). Descheduled
- * ("squashed") heap entries are compacted lazily so deschedule churn
- * cannot bloat the heap.
+ * to the heap, which no simulator callback does today). Wheel entries
+ * are removed exactly on deschedule; descheduled ("squashed") overflow
+ * heap entries are compacted lazily so deschedule churn cannot bloat
+ * the heap.
  *
  * The queue also carries the hook the runtime invariant checker hangs
  * off: a callback invoked every N processed events, between events, so
@@ -24,6 +46,7 @@
 #define IDIO_SIM_EVENT_QUEUE_HH
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -41,6 +64,19 @@ namespace sim
 {
 
 class EventQueue;
+
+/**
+ * Scheduler backend selector. Both backends fire events in the
+ * identical (tick, seq) total order; TimingWheel is the production
+ * default, BinaryHeap the reference kept for differential testing.
+ * The process-wide default comes from the IDIO_EVENTQ environment
+ * variable ("wheel" or "heap"; unset means wheel).
+ */
+enum class SchedulerBackend : std::uint8_t
+{
+    TimingWheel = 0,
+    BinaryHeap = 1,
+};
 
 /**
  * A reschedulable event. The owner keeps the Event alive while it is
@@ -64,7 +100,7 @@ class Event
     Tick when() const { return _when; }
 
     /**
-     * Sequence number of the live heap entry (valid only while
+     * Sequence number of the live schedule (valid only while
      * scheduled). Same-tick events fire in ascending sequence order;
      * checkpointing records it so restore can reproduce the order.
      */
@@ -76,7 +112,7 @@ class Event
 
     bool _scheduled = false;
     Tick _when = 0;
-    std::uint64_t _seq = 0; // identifies the live heap entry
+    std::uint64_t _seq = 0; // identifies the live queue entry
 };
 
 /**
@@ -87,17 +123,35 @@ class Event
  * is boxed into a unique_ptr whose 8-byte handle fits inline. Nodes
  * are owned and recycled by the EventQueue's free list, so the steady
  * state of a simulation performs zero allocations per one-shot.
+ *
+ * Declared final so the queue's hot path can call process()
+ * non-virtually for entries it owns.
  */
-class OneShotEvent : public Event
+class OneShotEvent final : public Event
 {
   public:
     OneShotEvent() = default;
     ~OneShotEvent() override { disarm(); }
 
-    void process() override { invokeFn(storage); }
+    /** Invoke and consume the stored callable (single indirect call). */
+    void
+    process() override
+    {
+        auto fire = invokeFn;
+        invokeFn = nullptr;
+        destroyFn = nullptr;
+        fire(storage);
+    }
+
     std::string name() const override { return "one-shot-event"; }
 
-    /** Store @p fn; the previous callable must be disarmed already. */
+    /**
+     * Store @p fn; the previous callable must be disarmed already.
+     * invokeFn CONSUMES the callable (invoke + destroy in one
+     * type-erased call, so the fire path pays a single indirect
+     * call); destroyFn destroys without invoking, for the disarm
+     * path.
+     */
     template <typename F>
     void
     arm(F &&fn)
@@ -107,7 +161,11 @@ class OneShotEvent : public Event
                       alignof(Fn) <= alignof(std::max_align_t)) {
             ::new (static_cast<void *>(storage)) // lint: allow(no-naked-new)
                 Fn(std::forward<F>(fn));
-            invokeFn = [](void *p) { (*static_cast<Fn *>(p))(); };
+            invokeFn = [](void *p) {
+                Fn *f = static_cast<Fn *>(p);
+                (*f)();
+                f->~Fn();
+            };
             destroyFn = [](void *p) { static_cast<Fn *>(p)->~Fn(); };
         } else {
             // Oversized callable: box it; the unique_ptr fits inline.
@@ -145,10 +203,27 @@ class OneShotEvent : public Event
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    explicit EventQueue(SchedulerBackend b = defaultBackend());
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
     ~EventQueue();
+
+    /**
+     * Process-wide default backend: IDIO_EVENTQ=heap selects the
+     * reference binary heap, anything else (or unset) the wheel.
+     * Read once; an unknown value is fatal.
+     */
+    static SchedulerBackend defaultBackend();
+
+    /** Human-readable backend name ("wheel" / "heap"). */
+    static const char *backendName(SchedulerBackend b);
+
+    SchedulerBackend
+    backend() const
+    {
+        return useHeap ? SchedulerBackend::BinaryHeap
+                       : SchedulerBackend::TimingWheel;
+    }
 
     /** Current simulated time. */
     Tick now() const { return curTick; }
@@ -183,11 +258,13 @@ class EventQueue
                   (unsigned long long)curTick);
         OneShotEvent *ev = acquireOneShot();
         ev->arm(std::forward<F>(fn));
-        ev->_scheduled = true;
-        ev->_when = when;
-        ev->_seq = nextSeq;
-        push(Entry{when, nextSeq++, ev, true});
-        return ev->_seq;
+        // One-shots are anonymous: nothing outside the queue holds a
+        // pointer, so the Event-side bookkeeping (_scheduled, _when,
+        // _seq) is skipped on this hot path. Identity lives in the
+        // Entry alone.
+        const std::uint64_t seq = nextSeq++;
+        insert(Entry{when, seq, Entry::tag(ev, true)});
+        return seq;
     }
 
     /** Schedule a one-shot callable at now() + delta. */
@@ -199,10 +276,10 @@ class EventQueue
     }
 
     /** Number of events currently pending. */
-    std::size_t pending() const { return heap.size() - squashedCount; }
+    std::size_t pending() const { return livePending; }
 
     /** True if no events remain. */
-    bool empty() const { return pending() == 0; }
+    bool empty() const { return livePending == 0; }
 
     /**
      * Tick of the earliest live (not descheduled) pending event, or
@@ -212,25 +289,49 @@ class EventQueue
     Tick nextEventTick() const;
 
     /**
-     * Hot-path variant of nextEventTick(): amortized O(1). Pops
-     * squashed entries off the heap top (each pop is amortized
-     * against the deschedule that created it), then reads the live
-     * minimum in place. Does not change pending() or fire anything.
+     * Hot-path variant of nextEventTick(): amortized O(1). The result
+     * is cached across calls and recomputed lazily (level-occupancy
+     * bitmaps make the recompute cheap); squashed overflow entries are
+     * popped off the heap top, each pop amortized against the
+     * deschedule that created it. Does not change pending() or fire
+     * anything.
      */
     Tick
     peekNextTick()
     {
-        dropSquashedTop();
-        return heap.empty() ? maxTick : heap.front().when;
+        if (!minValid) {
+            cachedMin = computeMin();
+            minValid = true;
+        }
+        return cachedMin;
     }
 
     /**
      * Run until the queue drains or simulated time would pass @p limit.
-     * Events scheduled exactly at @p limit still fire.
+     * Events scheduled exactly at @p limit still fire. Same-tick events
+     * are drained in one fused pass, in (tick, seq) order.
      *
      * @return number of events processed.
      */
-    std::uint64_t runUntil(Tick limit);
+    std::uint64_t
+    runUntil(Tick limit)
+    {
+        std::uint64_t processed = 0;
+        for (;;) {
+            if (!minValid) {
+                cachedMin = computeMin();
+                minValid = true;
+            }
+            const Tick next = cachedMin;
+            if (next > limit || livePending == 0)
+                break;
+            advanceTo(next);
+            processed += fireCurTick();
+        }
+        if (curTick < limit && limit != maxTick)
+            advanceTo(limit);
+        return processed;
+    }
 
     /**
      * Fire at most one event scheduled at or before @p limit.
@@ -242,7 +343,64 @@ class EventQueue
      *
      * @return true iff an event fired.
      */
-    bool runOne(Tick limit);
+    bool
+    runOne(Tick limit)
+    {
+        if (!minValid) {
+            cachedMin = computeMin();
+            minValid = true;
+        }
+        if (cachedMin > limit || livePending == 0) {
+            if (curTick < limit && limit != maxTick)
+                advanceTo(limit);
+            return false;
+        }
+        advanceTo(cachedMin);
+        cachedMin = maxTick;
+        minValid = false;
+        if (!useHeap) {
+            const std::size_t idx = slotIndex(0, curTick);
+            auto &slot = slots[0][idx];
+            if (!slot.empty()) {
+                // Slots are seq-sorted: the front is the next event.
+                const Entry e = slot.front();
+                slot.erase(slot.begin());
+                if (slot.empty())
+                    clearSlotMark(0, idx);
+                fireEntry(e);
+                if (livePending == 0)
+                    minValid = true;
+                return true;
+            }
+        }
+        fireOneOverflow();
+        return true;
+    }
+
+    /**
+     * Batched variant of runOne(): fire EVERY event of the earliest
+     * eligible tick (including chained same-tick schedules) in one
+     * fused pass, equivalent to calling runOne(limit) until the tick
+     * is exhausted. With no eligible event, behaves like the runOne()
+     * no-op (advances the time base to @p limit unless maxTick).
+     *
+     * @return number of events processed (0 when nothing was eligible).
+     */
+    std::uint64_t
+    runSameTick(Tick limit)
+    {
+        if (!minValid) {
+            cachedMin = computeMin();
+            minValid = true;
+        }
+        if (cachedMin > limit || livePending == 0) {
+            if (curTick < limit && limit != maxTick)
+                advanceTo(limit);
+            return 0;
+        }
+        advanceTo(cachedMin);
+        return fireCurTick();
+    }
 
     /** Run until the queue drains completely. */
     std::uint64_t run() { return runUntil(maxTick); }
@@ -270,16 +428,57 @@ class EventQueue
         sinceHook = 0;
     }
 
+    /**
+     * Exhaustive self-check of the scheduler's internal bookkeeping:
+     * live counters match a full scan, occupancy bitmaps match slot
+     * contents, every wheel entry sits in the slot its tick maps to,
+     * and no live entry lies in the past. O(pending) — used by the
+     * runtime invariant checker and the unit tests, never by model
+     * code.
+     */
+    bool selfCheckConsistent() const;
+
   private:
     friend struct EventQueueTestAccess;
     friend struct EventQueueRestoreAccess;
 
+    // Wheel geometry: three levels of 256 one-per-2^(8*level)-tick
+    // slots cover 2^24 ticks (~16.8 ms at 1 ns ticks) of horizon;
+    // later events spill to the overflow heap. The geometry constants
+    // are recorded in checkpoints and validated eagerly on restore.
+    static constexpr unsigned slotBits = 8;
+    static constexpr std::size_t slotCount = std::size_t(1)
+                                             << slotBits;
+    static constexpr std::size_t slotMask = slotCount - 1;
+    static constexpr unsigned numLevels = 3;
+    static constexpr unsigned spanBits = slotBits * numLevels;
+    static constexpr std::size_t wordsPerLevel = slotCount / 64;
+
+    /**
+     * A queue entry: 24 bytes. The owned flag (pooled OneShotEvent
+     * recycled by the queue) is packed into bit 0 of the event
+     * pointer — Event alignment guarantees it is free.
+     */
     struct Entry
     {
         Tick when;
         std::uint64_t seq;
-        Event *ev;
-        bool owned; // pooled OneShotEvent recycled by the queue
+        std::uintptr_t evTag;
+
+        static std::uintptr_t
+        tag(const Event *ev, bool owned)
+        {
+            return reinterpret_cast<std::uintptr_t>(ev) |
+                   std::uintptr_t(owned);
+        }
+
+        Event *
+        ev() const
+        {
+            return reinterpret_cast<Event *>(evTag & ~std::uintptr_t(1));
+        }
+
+        bool owned() const { return (evTag & 1) != 0; }
 
         bool
         operator>(const Entry &o) const
@@ -299,14 +498,171 @@ class EventQueue
     };
 
     /**
-     * True when a heap entry no longer refers to a live schedule.
-     * deschedule() nulls the entry's pointer eagerly — the owner may
-     * destroy the Event as soon as it is descheduled, so a squashed
-     * entry must never be dereferenced.
+     * True when an overflow-heap entry no longer refers to a live
+     * schedule. deschedule() nulls the entry's pointer eagerly — the
+     * owner may destroy the Event as soon as it is descheduled, so a
+     * squashed entry must never be dereferenced. (Wheel entries are
+     * erased exactly instead; only the drain batch uses tombstones,
+     * for deschedule-during-dispatch.)
      */
-    static bool squashed(const Entry &e) { return e.ev == nullptr; }
+    static bool squashed(const Entry &e) { return e.evTag == 0; }
 
-    void push(Entry e);
+    /**
+     * Wheel level for @p when relative to the current base, or
+     * numLevels for the overflow heap. The XOR trick compares block
+     * prefixes: (a ^ b) >> k == 0 iff a >> k == b >> k.
+     */
+    unsigned
+    levelFor(Tick when) const
+    {
+        const Tick x = when ^ wheelBase;
+        if (!(x >> slotBits))
+            return 0;
+        if (!(x >> (2 * slotBits)))
+            return 1;
+        if (!(x >> spanBits))
+            return 2;
+        return numLevels;
+    }
+
+    static std::size_t
+    slotIndex(unsigned level, Tick when)
+    {
+        return (when >> (slotBits * level)) & slotMask;
+    }
+
+    void
+    markSlot(unsigned level, std::size_t idx)
+    {
+        occupied[level][idx >> 6] |= std::uint64_t(1) << (idx & 63);
+    }
+
+    void
+    clearSlotMark(unsigned level, std::size_t idx)
+    {
+        occupied[level][idx >> 6] &=
+            ~(std::uint64_t(1) << (idx & 63));
+    }
+
+    bool
+    levelEmpty(unsigned level) const
+    {
+        const auto &w = occupied[level];
+        return (w[0] | w[1] | w[2] | w[3]) == 0;
+    }
+
+    /** Place an entry into its wheel slot (never the heap). */
+    void
+    placeWheel(const Entry &e)
+    {
+        const unsigned l = levelFor(e.when);
+        const std::size_t idx = slotIndex(l, e.when);
+        slots[l][idx].push_back(e);
+        markSlot(l, idx);
+    }
+
+    /** Route a new entry to the wheel or the overflow heap. */
+    void
+    insert(const Entry &e)
+    {
+        if (minValid && e.when < cachedMin)
+            cachedMin = e.when;
+        ++livePending;
+        if (useHeap || ((e.when ^ wheelBase) >> spanBits))
+            push(e);
+        else
+            placeWheel(e);
+    }
+
+    /**
+     * Advance the time base to @p t. Precondition: no live event is
+     * scheduled before @p t. Cascades the level-1/2 slots covering
+     * @p t when the base crosses their block boundaries, and refills
+     * the wheel from the overflow heap on 2^24 crossings.
+     */
+    void
+    advanceTo(Tick t)
+    {
+        const Tick x = wheelBase ^ t;
+        curTick = t;
+        if (!(x >> slotBits)) { // same level-0 block (or no move)
+            wheelBase = t;
+            return;
+        }
+        advanceSlow(t);
+    }
+
+    void advanceSlow(Tick t);
+    void cascade(unsigned level, std::size_t idx);
+    void refillFromOverflow(Tick t);
+
+    /**
+     * Dispatch one entry: unmark, invoke, recycle (for pooled
+     * one-shots the invoke is a single devirtualized indirect call
+     * that consumes the callable), bump counters, maybe fire the
+     * post-event hook. The entry is already out of its container.
+     */
+    void
+    fireEntry(const Entry &e)
+    {
+        --livePending;
+        if (e.owned()) {
+            // The queue created this node, so its dynamic type is
+            // exactly OneShotEvent (final): call non-virtually, then
+            // push it straight onto the free list (process() consumed
+            // the callable, so no disarm is needed).
+            auto *os = static_cast<OneShotEvent *>(e.ev());
+            os->OneShotEvent::process();
+            os->nextFree = freeOneShots;
+            freeOneShots = os;
+        } else {
+            Event *ev = e.ev();
+            ev->_scheduled = false;
+            ev->process();
+        }
+        ++nProcessed;
+        if (hookEvery && ++sinceHook >= hookEvery) {
+            sinceHook = 0;
+            postEventHook();
+        }
+    }
+
+    /**
+     * Fire every event scheduled at curTick, in seq order. The
+     * singleton case (one pending event at this tick — the dominant
+     * cadence) stays inline; fan-out ticks take the batch-swap drain
+     * in fireTickSlow().
+     */
+    std::uint64_t
+    fireCurTick()
+    {
+        if (!useHeap) {
+            const std::size_t idx = slotIndex(0, curTick);
+            auto &slot = slots[0][idx];
+            if (slot.size() == 1) {
+                const Entry e = slot.front();
+                slot.clear();
+                clearSlotMark(0, idx);
+                fireEntry(e);
+                if (slot.empty()) { // no chained same-tick schedule
+                    cachedMin = maxTick;
+                    minValid = livePending == 0;
+                    return 1;
+                }
+                return 1 + fireTickSlow();
+            }
+        }
+        return fireTickSlow();
+    }
+
+    /** Batch drain of curTick: wheel slot swap + overflow/heap loop. */
+    std::uint64_t fireTickSlow();
+    /** runOne() fallback: fire the heap-top entry (at curTick). */
+    void fireOneOverflow();
+
+    Tick computeMin();
+
+    void push(const Entry &e);
     Entry popTop();
 
     /** Pop squashed entries off the heap top (amortized O(1)). */
@@ -320,23 +676,53 @@ class EventQueue
     }
 
     /**
-     * Remove every squashed entry and re-heapify. Called when squashed
-     * entries outnumber live ones so deschedule churn keeps the heap
-     * within 2x of pending() instead of growing without bound.
+     * Remove every squashed overflow entry and re-heapify. Called when
+     * squashed entries outnumber live ones so deschedule churn keeps
+     * the heap within 2x of its live population.
      */
     void compact();
 
     OneShotEvent *acquireOneShot();
     void releaseOneShot(OneShotEvent *ev);
 
-    // Kept as a plain vector managed with the <algorithm> heap
-    // primitives (rather than std::priority_queue) so nextEventTick()
-    // and the invariant checker can inspect pending entries in place.
+    // --- Hierarchical timing wheel (TimingWheel backend) ---------
+    // slots[l][i] holds the entries of level l, slot i; level-0 slots
+    // cover exactly one tick. occupied[] mirrors slot non-emptiness
+    // so the min recompute scans 4 words per level instead of 256
+    // vectors. wheelBase is the tick the slot indexing is anchored
+    // at; it trails curTick only transiently after a restore.
+    std::array<std::array<std::vector<Entry>, slotCount>, numLevels>
+        slots;
+    std::array<std::array<std::uint64_t, wordsPerLevel>, numLevels>
+        occupied{};
+    Tick wheelBase = 0;
+    std::size_t livePending = 0; // all live entries (wheel + heap)
+    std::vector<Entry> cascadeScratch;
+
+    // Fused same-tick dispatch: the active tick's slot is swapped
+    // into drainBatch and fired in one pass; deschedule() tombstones
+    // into the batch when an in-batch event is killed mid-dispatch.
+    std::vector<Entry> drainBatch;
+    std::size_t drainPos = 0;
+    bool draining = false;
+
+    // Cached earliest live tick: exact while minValid; recomputed
+    // lazily from the occupancy bitmaps + heap top otherwise.
+    Tick cachedMin = maxTick;
+    bool minValid = true;
+
+    // --- Overflow level / BinaryHeap backend ---------------------
+    // A plain vector managed with the <algorithm> heap primitives
+    // (rather than std::priority_queue) so nextEventTick() and the
+    // invariant checker can inspect pending entries in place. The
+    // BinaryHeap backend routes every event here.
     std::vector<Entry> heap;
+    std::size_t squashedCount = 0;
+    const bool useHeap;
+
     Tick curTick = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t nProcessed = 0;
-    std::size_t squashedCount = 0;
 
     // One-shot node pool: `oneShotPool` owns every node ever created;
     // `freeOneShots` chains the currently idle ones.
@@ -364,11 +750,30 @@ struct EventQueueTestAccess
         eq.curTick = t;
     }
 
-    /** Raw heap slots (live + squashed), for compaction tests. */
+    /**
+     * Raw overflow-heap slots (live + squashed), for compaction
+     * tests. Wheel entries never appear here: deschedule removes
+     * them exactly.
+     */
     static std::size_t
     heapSlots(const EventQueue &eq)
     {
         return eq.heap.size();
+    }
+
+    /** Live entries currently resident in the wheel (full scan). */
+    static std::size_t
+    wheelEntries(const EventQueue &eq)
+    {
+        std::size_t n = 0;
+        for (const auto &level : eq.slots)
+            for (const auto &slot : level)
+                n += slot.size();
+        for (std::size_t i = eq.drainPos; i < eq.drainBatch.size();
+             ++i)
+            if (eq.drainBatch[i].evTag)
+                ++n;
+        return n;
     }
 
     /** Nodes in the one-shot pool (idle + in flight). */
@@ -394,22 +799,7 @@ struct EventQueueRestoreAccess
      * go back to the pool; non-owned events are simply unmarked so
      * their owners can reschedule them.
      */
-    static void
-    clearPending(EventQueue &eq)
-    {
-        for (EventQueue::Entry &e : eq.heap) {
-            if (e.ev) {
-                e.ev->_scheduled = false;
-                if (e.owned) {
-                    eq.releaseOneShot(
-                        static_cast<OneShotEvent *>(e.ev));
-                }
-            }
-        }
-        eq.heap.clear();
-        eq.squashedCount = 0;
-        eq.nextSeq = 0;
-    }
+    static void clearPending(EventQueue &eq);
 
     /** @{ Private counters the checkpoint records/restores. */
     static std::uint64_t nextSeq(const EventQueue &eq)
@@ -422,6 +812,25 @@ struct EventQueueRestoreAccess
         return eq.sinceHook;
     }
 
+    /**
+     * Wheel base tick (== now() except transiently after restore).
+     * Recorded in checkpoints for eager validation.
+     */
+    static Tick wheelBase(const EventQueue &eq)
+    {
+        return eq.wheelBase;
+    }
+
+    /** @{ Wheel geometry constants (checkpoint validation). */
+    static std::uint32_t wheelLevels() { return EventQueue::numLevels; }
+    static std::uint32_t wheelSlotBits() { return EventQueue::slotBits; }
+    /** @} */
+
+    /**
+     * Force the time base. The wheel base is left untouched: replayed
+     * entries were placed relative to it, and the first advance
+     * cascades it forward to the restored tick.
+     */
     static void setCurTick(EventQueue &eq, Tick t) { eq.curTick = t; }
 
     static void setNextSeq(EventQueue &eq, std::uint64_t s)

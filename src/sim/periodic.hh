@@ -4,6 +4,11 @@
  *
  * Used for fixed-cadence activities: the IDIO control plane (1 us), the
  * classifier burst-counter reset (1 us), timeline samplers (10 us).
+ *
+ * These short fixed periods are the timing wheel's ideal case: each
+ * reschedule lands within the wheel horizon (usually level 0 or 1), so
+ * the per-firing scheduler cost is O(1) slot placement rather than a
+ * heap reheapify (see event_queue.hh).
  */
 
 #ifndef IDIO_SIM_PERIODIC_HH

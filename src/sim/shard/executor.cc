@@ -96,7 +96,13 @@ ShardedExecutor::runGroup(const std::vector<DomainId> &members,
 
     // Fused domains interleave by always firing the globally earliest
     // event, ties broken by domain id — deterministic regardless of
-    // which host thread runs the group.
+    // which host thread runs the group. The winning domain drains its
+    // whole tick in one fused pass (runSameTick) instead of paying a
+    // scheduler round-trip per event: equivalent to the event-by-event
+    // interleave because events fired mid-drain can only schedule into
+    // their OWN queue (cross-domain traffic goes through post(), which
+    // cannot target the current window), so no same-tick work can
+    // appear in a lower-indexed member while the winner drains.
     std::uint64_t processed = 0;
     for (;;) {
         Tick best = maxTick;
@@ -110,11 +116,10 @@ ShardedExecutor::runGroup(const std::vector<DomainId> &members,
         }
         if (bestDom == invalidDomain || best > windowEnd)
             break;
-        if (doms[bestDom].queue->runOne(windowEnd))
-            ++processed;
+        processed += doms[bestDom].queue->runSameTick(windowEnd);
     }
-    // runOne() only advances to the fired event's tick; bring every
-    // member's time base to the window end (no-op runOne).
+    // The drain loop only advances queues to their fired ticks; bring
+    // every member's time base to the window end (no-op runOne).
     for (DomainId d : members)
         doms[d].queue->runOne(windowEnd);
     return processed;
@@ -212,10 +217,36 @@ ShardedExecutor::mergeStagedPosts()
                       return a.src < b.src;
                   return a.seq < b.seq;
               });
-    for (Item &it : items) {
-        doms[it.post->dst].queue->schedule(it.when,
-                                           std::move(it.post->fn));
-        ++nCrossPosts;
+    // Whole-window batching: a run of consecutive posts with the same
+    // (tick, destination) becomes ONE scheduled event that replays the
+    // callbacks in order, so a burst of cross-domain deliveries pays a
+    // single scheduler insertion. Relative delivery order on the
+    // destination queue is unchanged — the batch occupies the position
+    // the first post of the run would have had, and the run was
+    // already consecutive in the merged order.
+    std::size_t i = 0;
+    while (i < items.size()) {
+        const Tick when = items[i].when;
+        const DomainId dst = items[i].post->dst;
+        std::size_t j = i + 1;
+        while (j < items.size() && items[j].when == when &&
+               items[j].post->dst == dst)
+            ++j;
+        if (j - i == 1) {
+            doms[dst].queue->schedule(when, std::move(items[i].post->fn));
+        } else {
+            std::vector<std::function<void()>> batch;
+            batch.reserve(j - i);
+            for (std::size_t k = i; k < j; ++k)
+                batch.push_back(std::move(items[k].post->fn));
+            doms[dst].queue->schedule(
+                when, [batch = std::move(batch)] {
+                    for (const std::function<void()> &fn : batch)
+                        fn();
+                });
+        }
+        nCrossPosts += j - i;
+        i = j;
     }
     for (DomainRec &d : doms)
         d.outbox.clear();

@@ -20,11 +20,22 @@
  * ticks ascend with send ticks, and same-tick deliveries inherit the
  * staging order through the queue's sequence numbers.
  *
- * In-flight messages checkpoint: serialize() records the delivery
- * schedule (tick + sequence) and the message payload; unserialize()
- * re-registers the deliveries against the destination queue through
- * the deferred-replay machinery, so a checkpoint taken with messages
- * on the wire restores bit-identically.
+ * Deliveries are batched per delivery tick: a run of staged messages
+ * that land on the same destination tick is flushed as ONE scheduled
+ * event that replays the whole run through the handler in staging
+ * order, so a burst of same-window messages pays a single scheduler
+ * insertion instead of one per message. The per-channel FIFO order is
+ * unchanged — runs are consecutive in the staging deque (delivery
+ * ticks ascend), and the batch fires at the position the run's first
+ * message would have had.
+ *
+ * In-flight messages checkpoint: serialize() records the batch
+ * delivery schedule (tick + sequence + run length) and the message
+ * payloads; unserialize() re-registers one delivery per batch against
+ * the destination queue through the deferred-replay machinery, so a
+ * checkpoint taken with messages on the wire restores bit-identically.
+ * Batch bookkeeping is validated eagerly on both save and restore
+ * (the run lengths must sum to the payload count).
  *
  * The message type must provide
  *     static void serializeMsg(ckpt::Serializer &, const Msg &);
@@ -116,12 +127,20 @@ class LinkChannel : public SimObject, public LinkChannelBase
     void
     flush() override
     {
-        for (Staged &st : stagedMsgs) {
-            const Tick at = st.sendTick + linkLatency;
+        std::size_t i = 0;
+        while (i < stagedMsgs.size()) {
+            const Tick at = stagedMsgs[i].sendTick + linkLatency;
+            std::size_t j = i + 1;
+            while (j < stagedMsgs.size() &&
+                   stagedMsgs[j].sendTick + linkLatency == at)
+                ++j;
             const std::uint64_t seq =
-                dstQueue.schedule(at, [this] { deliverFront(); });
-            inflight.push_back(
-                InFlight{at, seq, std::move(st.msg)});
+                dstQueue.schedule(at, [this] { deliverBatch(); });
+            batches.push_back(Batch{
+                at, seq, static_cast<std::uint64_t>(j - i)});
+            for (std::size_t k = i; k < j; ++k)
+                inflight.push_back(std::move(stagedMsgs[k].msg));
+            i = j;
         }
         stagedMsgs.clear();
     }
@@ -134,28 +153,52 @@ class LinkChannel : public SimObject, public LinkChannelBase
     {
         SIM_ASSERT(stagedMsgs.empty(),
                    "checkpoint taken mid-window (staged link messages)");
-        s.writeU64(inflight.size());
-        for (const InFlight &f : inflight) {
-            s.writeTick(f.when);
-            s.writeU64(f.seq);
-            Msg::serializeMsg(s, f.msg);
+        std::uint64_t total = 0;
+        for (const Batch &b : batches)
+            total += b.count;
+        SIM_ASSERT(total == inflight.size(),
+                   "link batch bookkeeping out of sync with payloads");
+        s.writeU64(batches.size());
+        for (const Batch &b : batches) {
+            s.writeTick(b.when);
+            s.writeU64(b.seq);
+            s.writeU64(b.count);
         }
+        s.writeU64(inflight.size());
+        for (const Msg &m : inflight)
+            Msg::serializeMsg(s, m);
     }
 
     void
     unserialize(ckpt::Deserializer &d) override
     {
+        batches.clear();
         inflight.clear();
-        const std::uint64_t n = d.readU64();
-        for (std::uint64_t i = 0; i < n; ++i) {
-            InFlight f;
-            f.when = d.readTick();
-            f.seq = d.readU64();
-            f.msg = Msg::unserializeMsg(d);
-            inflight.push_back(std::move(f));
-            d.deferOneShot(f.seq, f.when, [this] { deliverFront(); },
+        const std::uint64_t nBatches = d.readU64();
+        std::uint64_t total = 0;
+        for (std::uint64_t i = 0; i < nBatches; ++i) {
+            Batch b;
+            b.when = d.readTick();
+            b.seq = d.readU64();
+            b.count = d.readU64();
+            if (b.count == 0)
+                fatal("link channel '%s': checkpointed empty batch",
+                      name().c_str());
+            total += b.count;
+            batches.push_back(b);
+            d.deferOneShot(b.seq, b.when, [this] { deliverBatch(); },
                            &dstQueue);
         }
+        const std::uint64_t nMsgs = d.readU64();
+        if (total != nMsgs) {
+            fatal("link channel '%s': checkpointed batch lengths sum "
+                  "to %llu but %llu payloads follow",
+                  name().c_str(),
+                  static_cast<unsigned long long>(total),
+                  static_cast<unsigned long long>(nMsgs));
+        }
+        for (std::uint64_t i = 0; i < nMsgs; ++i)
+            inflight.push_back(Msg::unserializeMsg(d));
     }
 
   private:
@@ -165,26 +208,34 @@ class LinkChannel : public SimObject, public LinkChannelBase
         Msg msg;
     };
 
-    struct InFlight
+    /** One scheduled delivery covering @c count consecutive payloads. */
+    struct Batch
     {
         Tick when = 0;
         std::uint64_t seq = 0;
-        Msg msg;
+        std::uint64_t count = 0;
     };
 
     /**
      * Deliveries fire in the order they were flushed (fixed latency =>
      * ascending delivery ticks; ties keep staging order through the
-     * queue sequence numbers), so the front is always the one due.
+     * queue sequence numbers), so the front batch is always the one
+     * due, covering the first @c count payloads in flight.
      */
     void
-    deliverFront()
+    deliverBatch()
     {
-        SIM_ASSERT(!inflight.empty(),
+        SIM_ASSERT(!batches.empty(),
                    "link delivery fired with nothing in flight");
-        const Msg m = std::move(inflight.front().msg);
-        inflight.pop_front();
-        handler(m);
+        const Batch b = batches.front();
+        batches.pop_front();
+        SIM_ASSERT(b.count <= inflight.size(),
+                   "link batch longer than in-flight payloads");
+        for (std::uint64_t i = 0; i < b.count; ++i) {
+            const Msg m = std::move(inflight.front());
+            inflight.pop_front();
+            handler(m);
+        }
     }
 
     const EventQueue &srcQueue;
@@ -192,7 +243,8 @@ class LinkChannel : public SimObject, public LinkChannelBase
     Tick linkLatency;
     Handler handler;
     std::deque<Staged> stagedMsgs;
-    std::deque<InFlight> inflight;
+    std::deque<Batch> batches;
+    std::deque<Msg> inflight;
 };
 
 } // namespace shard

@@ -97,6 +97,21 @@ class Simulation
     }
 
     /**
+     * Total events processed across the main queue and every domain
+     * queue. Host-independent (scheduling backend and thread count do
+     * not change it), which makes it the work counter the perf bench
+     * reports and CI gates on.
+     */
+    std::uint64_t
+    totalProcessedEvents() const
+    {
+        std::uint64_t total = queue.processedEvents();
+        for (const auto &q : auxQueues)
+            total += q->processedEvents();
+        return total;
+    }
+
+    /**
      * @{ Auxiliary per-domain event queues (sharded execution).
      *
      * A split ShardPlan places each timing domain on its own queue; the

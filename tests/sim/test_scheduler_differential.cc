@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Differential tests of the two scheduler backends.
+ *
+ * The timing wheel must fire events in exactly the (tick, seq) total
+ * order the reference binary heap uses — the repo's whole determinism
+ * contract (byte-equal stats, traces and checkpoints) rests on it.
+ * These tests drive randomized schedule / deschedule / reschedule /
+ * runUntil / runOne workloads through both backends and assert the
+ * firing sequences are identical event by event, with tick deltas
+ * drawn to span every wheel level (L0 same-tick slots, L1/L2 cascades)
+ * and the overflow heap.
+ *
+ * The full-system mid-burst checkpoint gate under the wheel (stats +
+ * trace byte-equality across save/restore) lives in
+ * tests/ckpt/test_roundtrip.cc and tests/integration/, which run under
+ * the wheel by default; here a queue-level rebuild test covers the
+ * restore-specific wheel path (replay into a fresh wheel, then force
+ * the time base and cascade forward).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+using sim::Event;
+using sim::EventQueue;
+using sim::SchedulerBackend;
+using sim::Tick;
+
+struct Firing
+{
+    Tick when;
+    int id;
+
+    bool
+    operator==(const Firing &o) const
+    {
+        return when == o.when && id == o.id;
+    }
+};
+
+class ScriptedEvent : public Event
+{
+  public:
+    ScriptedEvent(const EventQueue &q, std::vector<Firing> &log, int id)
+        : q(q), log(log), id(id)
+    {
+    }
+
+    void process() override { log.push_back({q.now(), id}); }
+
+  private:
+    const EventQueue &q;
+    std::vector<Firing> &log;
+    int id;
+};
+
+/**
+ * Tick deltas spanning the whole wheel: level-0 slots (same tick and
+ * near-future), level-1/2 cascade distances, and the overflow heap
+ * horizon beyond 2^24 ticks.
+ */
+Tick
+drawDelta(std::mt19937_64 &rng)
+{
+    switch (rng() % 4) {
+    case 0:
+        return rng() % 16; // L0 (incl. same-tick)
+    case 1:
+        return rng() % (Tick(1) << 12); // L1
+    case 2:
+        return rng() % (Tick(1) << 20); // L2
+    default:
+        return rng() % (Tick(1) << 28); // overflow heap
+    }
+}
+
+/**
+ * One randomized scenario against the given backend. The op stream is
+ * a pure function of the seed and the queue's observable state, which
+ * both backends must evolve identically — any divergence shows up as
+ * differing firing logs.
+ */
+std::vector<Firing>
+runScenario(SchedulerBackend backend, std::uint64_t seed)
+{
+    EventQueue q(backend);
+    std::vector<Firing> log;
+
+    constexpr int nMembers = 24;
+    std::vector<std::unique_ptr<ScriptedEvent>> members;
+    members.reserve(nMembers);
+    for (int i = 0; i < nMembers; ++i) {
+        members.push_back(
+            std::make_unique<ScriptedEvent>(q, log, 1000 + i));
+    }
+
+    std::mt19937_64 rng(seed);
+    int nextOneShot = 0;
+
+    for (int op = 0; op < 4000; ++op) {
+        switch (rng() % 8) {
+        case 0:
+        case 1: { // one-shot, sometimes chaining a second from inside
+            const int id = ++nextOneShot;
+            const Tick when = q.now() + drawDelta(rng);
+            const bool chain = rng() % 4 == 0;
+            const Tick chainDelta = drawDelta(rng);
+            q.schedule(when, [&q, &log, id, chain, chainDelta] {
+                log.push_back({q.now(), id});
+                if (chain) {
+                    q.schedule(q.now() + chainDelta, [&q, &log, id] {
+                        log.push_back({q.now(), -id});
+                    });
+                }
+            });
+            break;
+        }
+        case 2: { // member schedule
+            ScriptedEvent &ev = *members[rng() % nMembers];
+            const Tick when = q.now() + drawDelta(rng);
+            if (!ev.scheduled())
+                q.schedule(&ev, when);
+            break;
+        }
+        case 3: { // member deschedule
+            ScriptedEvent &ev = *members[rng() % nMembers];
+            if (ev.scheduled())
+                q.deschedule(&ev);
+            break;
+        }
+        case 4: { // member reschedule
+            ScriptedEvent &ev = *members[rng() % nMembers];
+            const Tick when = q.now() + drawDelta(rng);
+            if (ev.scheduled())
+                q.deschedule(&ev);
+            q.schedule(&ev, when);
+            break;
+        }
+        case 5:
+        case 6:
+            q.runUntil(q.now() + drawDelta(rng));
+            break;
+        default:
+            q.runOne(q.now() + drawDelta(rng));
+            break;
+        }
+        if (op % 512 == 0) {
+            EXPECT_TRUE(q.selfCheckConsistent());
+        }
+    }
+
+    // Drain everything, chains included (a chain adds at most 2^28).
+    while (!q.empty())
+        q.runUntil(q.now() + (Tick(1) << 29));
+    EXPECT_TRUE(q.selfCheckConsistent());
+    return log;
+}
+
+TEST(SchedulerDifferential, RandomizedWorkloadsFireIdentically)
+{
+    for (const std::uint64_t seed :
+         {1ull, 2ull, 42ull, 0xD1FFull, 0xC0FFEEull}) {
+        const auto wheel =
+            runScenario(SchedulerBackend::TimingWheel, seed);
+        const auto heap =
+            runScenario(SchedulerBackend::BinaryHeap, seed);
+        ASSERT_EQ(wheel.size(), heap.size()) << "seed " << seed;
+        ASSERT_FALSE(wheel.empty()) << "seed " << seed;
+        for (std::size_t i = 0; i < wheel.size(); ++i) {
+            ASSERT_EQ(wheel[i].when, heap[i].when)
+                << "seed " << seed << " firing " << i;
+            ASSERT_EQ(wheel[i].id, heap[i].id)
+                << "seed " << seed << " firing " << i;
+        }
+    }
+}
+
+/**
+ * Lockstep variant: the same op stream drives one queue per backend,
+ * and every observable (now, pending, peekNextTick, nextEventTick,
+ * empty) must agree after every single op, not just at the end.
+ */
+TEST(SchedulerDifferential, StateObserversAgreeAfterEveryOp)
+{
+    EventQueue a(SchedulerBackend::TimingWheel);
+    EventQueue b(SchedulerBackend::BinaryHeap);
+    std::vector<Firing> logA, logB;
+
+    constexpr int nMembers = 8;
+    std::vector<std::unique_ptr<ScriptedEvent>> membersA, membersB;
+    for (int i = 0; i < nMembers; ++i) {
+        membersA.push_back(
+            std::make_unique<ScriptedEvent>(a, logA, i));
+        membersB.push_back(
+            std::make_unique<ScriptedEvent>(b, logB, i));
+    }
+
+    std::mt19937_64 rng(7);
+    int nextOneShot = 0;
+    for (int op = 0; op < 2000; ++op) {
+        switch (rng() % 6) {
+        case 0: {
+            const int id = ++nextOneShot;
+            const Tick delta = drawDelta(rng);
+            a.schedule(a.now() + delta, [&a, &logA, id] {
+                logA.push_back({a.now(), id});
+            });
+            b.schedule(b.now() + delta, [&b, &logB, id] {
+                logB.push_back({b.now(), id});
+            });
+            break;
+        }
+        case 1: {
+            const std::size_t m = rng() % nMembers;
+            const Tick delta = drawDelta(rng);
+            if (!membersA[m]->scheduled()) {
+                a.schedule(membersA[m].get(), a.now() + delta);
+                b.schedule(membersB[m].get(), b.now() + delta);
+            }
+            break;
+        }
+        case 2: {
+            const std::size_t m = rng() % nMembers;
+            if (membersA[m]->scheduled()) {
+                a.deschedule(membersA[m].get());
+                b.deschedule(membersB[m].get());
+            }
+            break;
+        }
+        case 3:
+        case 4: {
+            const Tick delta = drawDelta(rng);
+            a.runUntil(a.now() + delta);
+            b.runUntil(b.now() + delta);
+            break;
+        }
+        default: {
+            const Tick delta = drawDelta(rng);
+            a.runOne(a.now() + delta);
+            b.runOne(b.now() + delta);
+            break;
+        }
+        }
+        ASSERT_EQ(a.now(), b.now()) << "op " << op;
+        ASSERT_EQ(a.pending(), b.pending()) << "op " << op;
+        ASSERT_EQ(a.empty(), b.empty()) << "op " << op;
+        ASSERT_EQ(a.peekNextTick(), b.peekNextTick()) << "op " << op;
+        ASSERT_EQ(a.nextEventTick(), b.nextEventTick()) << "op " << op;
+        ASSERT_EQ(logA.size(), logB.size()) << "op " << op;
+    }
+    ASSERT_EQ(logA, logB);
+
+    for (int i = 0; i < nMembers; ++i) {
+        if (membersA[i]->scheduled())
+            a.deschedule(membersA[i].get());
+        if (membersB[i]->scheduled())
+            b.deschedule(membersB[i].get());
+    }
+}
+
+/**
+ * Restore-style rebuild under the wheel: fire half a schedule, move
+ * the survivors into a fresh queue in original sequence order (what
+ * ckpt's deferred replay does), force the time base, and check the
+ * continuation fires exactly like the uninterrupted run. Covers the
+ * wheel-specific restore path: entries placed against wheelBase 0,
+ * then the first advance cascading the base up to the restored tick.
+ */
+TEST(SchedulerDifferential, RebuiltWheelContinuesIdentically)
+{
+    struct Planned
+    {
+        Tick when;
+        int id;
+    };
+    std::vector<Planned> plan;
+    std::mt19937_64 rng(11);
+    for (int i = 0; i < 200; ++i)
+        plan.push_back({drawDelta(rng) + 1, i});
+
+    const Tick cut = Tick(1) << 16;
+    const Tick end = Tick(1) << 29;
+
+    // Uninterrupted reference run.
+    std::vector<Firing> ref;
+    {
+        EventQueue q;
+        for (const Planned &p : plan) {
+            q.schedule(p.when, [&q, &ref, id = p.id] {
+                ref.push_back({q.now(), id});
+            });
+        }
+        q.runUntil(end);
+        ASSERT_TRUE(q.empty());
+    }
+
+    // Interrupted run: stop at `cut`, rebuild into a fresh queue.
+    std::vector<Firing> firstHalf;
+    {
+        EventQueue q;
+        for (const Planned &p : plan) {
+            q.schedule(p.when, [&q, &firstHalf, id = p.id] {
+                firstHalf.push_back({q.now(), id});
+            });
+        }
+        q.runUntil(cut);
+    }
+
+    std::vector<Firing> secondHalf;
+    {
+        EventQueue q;
+        // Replay survivors in original (ascending seq == plan) order,
+        // then force the time base past them, as ckpt::restore does.
+        for (const Planned &p : plan) {
+            if (p.when <= cut)
+                continue;
+            q.schedule(p.when, [&q, &secondHalf, id = p.id] {
+                secondHalf.push_back({q.now(), id});
+            });
+        }
+        sim::EventQueueRestoreAccess::setCurTick(q, cut);
+        EXPECT_TRUE(q.selfCheckConsistent());
+        q.runUntil(end);
+        ASSERT_TRUE(q.empty());
+    }
+
+    std::vector<Firing> combined = firstHalf;
+    combined.insert(combined.end(), secondHalf.begin(),
+                    secondHalf.end());
+    ASSERT_EQ(combined, ref);
+}
+
+/**
+ * With near events wheel-resident, lazy squash + compaction only runs
+ * for far-future (overflow-heap) deschedules; pin that path directly.
+ */
+TEST(SchedulerDifferential, FarFutureCompactionPreservesOrder)
+{
+    class NopEvent : public Event
+    {
+      public:
+        void process() override {}
+    };
+
+    EventQueue q;
+    const Tick far = Tick(1) << 26; // beyond the 2^24 wheel horizon
+    std::vector<NopEvent> evs(64);
+    for (std::size_t i = 0; i < evs.size(); ++i)
+        q.schedule(&evs[i], far + Tick(i));
+    ASSERT_EQ(sim::EventQueueTestAccess::heapSlots(q), 64u);
+    ASSERT_EQ(sim::EventQueueTestAccess::wheelEntries(q), 0u);
+
+    // Squash most of the heap; compaction keeps slots < live*2.
+    for (std::size_t i = 0; i < evs.size(); ++i) {
+        if (i % 4 != 0)
+            q.deschedule(&evs[i]);
+    }
+    EXPECT_EQ(q.pending(), 16u);
+    EXPECT_LT(sim::EventQueueTestAccess::heapSlots(q), 32u);
+    EXPECT_TRUE(q.selfCheckConsistent());
+
+    // Survivors still fire in schedule order as they cascade into the
+    // wheel and drain.
+    std::vector<Tick> fired;
+    q.setPostEventHook(1, [&q, &fired] { fired.push_back(q.now()); });
+    q.runUntil(far + 64);
+    ASSERT_EQ(fired.size(), 16u);
+    for (std::size_t i = 0; i < fired.size(); ++i)
+        EXPECT_EQ(fired[i], far + Tick(4 * i));
+}
+
+} // namespace

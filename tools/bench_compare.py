@@ -9,18 +9,28 @@ comparison walks every numeric leaf shared by both files and infers the
 "good" direction from the metric name:
 
   higher is better   *PerSec, *speedup*, *_per_wall_sec*
-  lower is better    nsPer*, *wallSec*, *WallSec*
+  lower is better    nsPer*, *wallSec*, *WallSec*, events_per_packet
   informational      ops, configs, jobs, hw_threads, deterministic,
-                     packets, cores, rx_queues, flows,
-                     link_pcie_ns, link_mesh_ns — never compared
+                     packets, events, cores, rx_queues, flows,
+                     link_pcie_ns, link_mesh_ns, micro_reps
+                     — never compared
 
 A higher-is-better metric that dropped by more than --tolerance
 (default 15%) is a hard regression: the script exits 1. Lower-is-better
-metrics (raw wall-clock / ns-per-op readings, which are just the
-inverse view of the rates) are advisory: a bad move is printed as
+wall-clock metrics (raw wall-clock / ns-per-op readings, which are just
+the inverse view of the rates) are advisory: a bad move is printed as
 ADVISORY but does not fail the run. This makes the gate strict on the
 throughput trajectory while tolerating wall-clock jitter; the committed
 trajectory is refreshed deliberately on a quiet host.
+
+events_per_packet is the exception among lower-is-better metrics: it
+is a host-independent work counter (the scheduler processes the same
+events no matter the host, backend or worker count), so an increase
+beyond tolerance is always a hard regression. Conversely, when either
+file was produced on a single-hardware-thread host, the wall-clock
+throughput comparisons are demoted to advisory — a 1-thread runner
+time-slicing shard workers makes "sharded slower than unsharded"
+readings meaningless — and the work counters carry the gate alone.
 """
 
 from __future__ import annotations
@@ -37,12 +47,18 @@ INFORMATIONAL = {
     "hw_threads",
     "deterministic",
     "packets",
+    "events",
     "cores",
     "rx_queues",
     "flows",
     "link_pcie_ns",
     "link_mesh_ns",
+    "micro_reps",
 }
+
+# Lower-is-better metrics that hard-gate (host-independent work
+# counters, not wall-clock readings).
+HARD_LOWER = {"events_per_packet"}
 
 
 def flatten(node, prefix=""):
@@ -63,6 +79,8 @@ def direction(path: str):
         return None
     # Throughput rates first: "packets_per_wall_sec" contains
     # "wall_sec" and must not fall into the lower-is-better bucket.
+    if leaf in HARD_LOWER:
+        return -1
     if "per_wall_sec" in leaf:
         return +1
     if leaf.endswith("PerSec") or "speedup" in leaf:
@@ -84,8 +102,19 @@ def main() -> int:
     )
     args = ap.parse_args()
 
-    base = dict(flatten(json.loads(args.baseline.read_text())))
-    cur = dict(flatten(json.loads(args.current.read_text())))
+    base_doc = json.loads(args.baseline.read_text())
+    cur_doc = json.loads(args.current.read_text())
+    base = dict(flatten(base_doc))
+    cur = dict(flatten(cur_doc))
+
+    # On a single-hardware-thread host every wall-clock rate is noise
+    # (shard workers time-slice one core), so only the deterministic
+    # work counters gate; the rates print as advisory.
+    single_thread = (base_doc.get("hw_threads") == 1
+                     or cur_doc.get("hw_threads") == 1)
+    if single_thread:
+        print("single-hardware-thread run detected: wall-clock "
+              "metrics are advisory; work counters gate")
 
     regressions = []
     advisories = []
@@ -94,6 +123,8 @@ def main() -> int:
         sense = direction(path)
         if sense is None:
             continue
+        leaf = path.rsplit(".", 1)[-1]
+        hard = leaf in HARD_LOWER or (sense > 0 and not single_thread)
         b, c = base[path], cur[path]
         if b == 0:
             continue
@@ -101,7 +132,7 @@ def main() -> int:
         bad = -sense * change  # >0 means it moved the wrong way
         if bad <= args.tolerance:
             flag = "ok"
-        elif sense > 0:
+        elif hard:
             flag = "REGRESSION"
             regressions.append(path)
         else:

@@ -19,7 +19,8 @@ import struct
 import sys
 
 MAGIC = b"IDIOCKPT"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 3
+BACKEND_NAMES = {0: "wheel", 1: "heap"}
 
 FNV_OFFSET = 0xCBF29CE484222325
 FNV_PRIME = 0x100000001B3
@@ -102,7 +103,8 @@ def inspect(path: str) -> int:
         if fnv1a(payload) != checksum:
             status = "BAD-CHECKSUM"
             failures += 1
-        rows.append((name, sec_version, payload_len, checksum, status))
+        rows.append((name, sec_version, payload_len, checksum, status,
+                     payload))
 
     if r.pos != len(blob):
         print(f"FAIL {len(blob) - r.pos} trailing bytes after the "
@@ -112,15 +114,35 @@ def inspect(path: str) -> int:
     width = max((len(r[0]) for r in rows), default=4)
     print(f"\n  {'section':<{width}}  {'ver':>3}  {'bytes':>10}  "
           f"{'fnv1a-64':>16}  status")
-    for name, ver, size, csum, status in rows:
+    for name, ver, size, csum, status, _ in rows:
         print(f"  {name:<{width}}  {ver:>3}  {size:>10}  "
               f"{csum:016x}  {status}")
+
+
+    for name, ver, _, _, _, payload in rows:
+        if name.startswith("_eventq") and ver == 2:
+            line = decode_eventq(payload)
+            if line:
+                print(f"  {name}: {line}")
 
     if failures:
         print(f"\n{failures} problem(s) found")
         return 1
     print(f"\nall {count} section checksums valid")
     return 0
+
+
+def decode_eventq(payload: bytes) -> str:
+    """Pretty-print a v2 _eventq section (see ckpt saveEventq)."""
+    if len(payload) != 1 + 4 + 4 + 8 * 6:
+        return "unexpected payload length"
+    backend, levels, slot_bits = struct.unpack_from("<BII", payload, 0)
+    wheel_base, tick, next_seq, processed, since_hook, pending = \
+        struct.unpack_from("<6Q", payload, 9)
+    return (f"backend={BACKEND_NAMES.get(backend, backend)} "
+            f"wheel={levels}x2^{slot_bits} base={wheel_base} "
+            f"tick={tick} nextSeq={next_seq} processed={processed} "
+            f"sinceHook={since_hook} pending={pending}")
 
 
 def main() -> int:
