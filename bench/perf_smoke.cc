@@ -40,6 +40,7 @@
 
 #include "common.hh"
 #include "sim/event_queue.hh"
+#include "tenant_scenario.hh"
 #include "trace/chrome_export.hh"
 
 namespace
@@ -321,6 +322,45 @@ writeArtifact(const std::string &path, const std::string &content)
     ofs << content;
 }
 
+/**
+ * Per-tenant headline numbers of the canonical tenant mix (see
+ * bench/tenant_scenario.hh), shortened for the smoke. These are
+ * SIMULATED metrics — deterministic and host-independent — so
+ * bench_compare.py hard-gates them (unlike the wall-clock rates).
+ */
+struct TenantHeadline
+{
+    double rpcP99Us = 0;
+    double rpcP999Us = 0;
+    double batchP99Us = 0;
+    std::uint64_t reallocations = 0;
+};
+
+TenantHeadline
+measureTenantScheme(const bench::TenantScheme &scheme,
+                    const bench::BenchOptions &opts)
+{
+    auto cfg = bench::tenantMixConfig(scheme);
+    cfg.nic.ringSize = 256; // lighter than the full bench, same shape
+    if (opts.seed)
+        cfg.seed = *opts.seed;
+
+    harness::TestSystem sys(cfg);
+    sys.start();
+    constexpr sim::Tick horizon = 300 * sim::oneUs;
+    while (sys.simulation().now() < horizon)
+        sys.runFor(bench::burstQuantum);
+
+    const auto tt = sys.tenantTotals();
+    TenantHeadline h;
+    h.rpcP99Us = sim::ticksToUs(tt[0].p99);
+    h.rpcP999Us = sim::ticksToUs(tt[0].p999);
+    h.batchP99Us = sim::ticksToUs(tt[1].p99);
+    if (sys.iocaController() != nullptr)
+        h.reallocations = sys.iocaController()->reallocations.get();
+    return h;
+}
+
 /** The fig10-style sweep the parallel runner is judged on. */
 std::vector<bench::SweepCase>
 sweepCases()
@@ -467,6 +507,23 @@ main(int argc, char **argv)
                         : "NO");
     }
 
+    // Tenant-mix headline: simulated per-tenant tail latency of the
+    // canonical noisy-neighbor scenario under plain DDIO sharing vs
+    // the IOCA-style CAT controller, plus the controller's
+    // reallocation count. Deterministic simulated numbers: any move
+    // is a behaviour change, and bench_compare gates them hard.
+    TenantHeadline tenantDdio, tenantIoca;
+    if (full) {
+        tenantDdio = measureTenantScheme(bench::tenantSchemes[0],
+                                         opts);
+        tenantIoca = measureTenantScheme(bench::tenantSchemes[2],
+                                         opts);
+        std::printf("tenant mix: rpc p99 %.2f us (ddio) vs %.2f us "
+                    "(ioca, %llu way reallocations)\n",
+                    tenantDdio.rpcP99Us, tenantIoca.rpcP99Us,
+                    (unsigned long long)tenantIoca.reallocations);
+    }
+
     // The same machine on the split shard plan: modelled link
     // latencies give every core, the NIC, and the uncore their own
     // conflict group, so --sharded-jobs is a real parallelism knob.
@@ -590,6 +647,21 @@ main(int argc, char **argv)
         w.field("deterministic", split.deterministic);
         w.end();
         w.end();
+        if (full) {
+            w.beginObject("tenant");
+            w.beginObject("ddio");
+            w.field("rpc_p99_us", tenantDdio.rpcP99Us);
+            w.field("rpc_p999_us", tenantDdio.rpcP999Us);
+            w.field("batch_p99_us", tenantDdio.batchP99Us);
+            w.end();
+            w.beginObject("ioca");
+            w.field("rpc_p99_us", tenantIoca.rpcP99Us);
+            w.field("rpc_p999_us", tenantIoca.rpcP999Us);
+            w.field("batch_p99_us", tenantIoca.batchP99Us);
+            w.field("reallocations", tenantIoca.reallocations);
+            w.end();
+            w.end();
+        }
         if (full) {
             w.beginObject("sweep");
             w.field("configs", std::uint64_t(cases.size()));

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Noisy-neighbor tenant mix: per-tenant throughput and tail latency
+ * under LLC-sharing pressure, for three LLC management schemes on
+ * the identical scenario and seed:
+ *
+ *   ddio  — plain DDIO, all tenants share the non-I/O ways.
+ *   idio  — IDIO's adaptive I/O policy, still no tenant isolation.
+ *   ioca  — DDIO plus CAT way partitioning driven by the IOCA-style
+ *           adaptive controller (tenant::IocaController).
+ *
+ * The scenario is a three-tenant mix exercising every SLO class:
+ *
+ *   rpc   — latency-critical, 1 core, steady 10 Gbps TouchDrop (an
+ *           RPC-like NF whose p99/p99.9 is the headline metric).
+ *   batch — throughput class, 2 cores, bursty 100 Gbps TouchDrop;
+ *           departs at 300 us (tenant churn — the controller must
+ *           re-converge after its load disappears).
+ *   antag — best-effort antagonist tenant: one aggressor core running
+ *           an LLC-thrashing scan (nf::LlcAntagonist) and no NF.
+ *
+ * The run is a fixed 600 us horizon stepped in 10 us quanta, so every
+ * scheme sees the identical packet arrivals and the output JSON is
+ *bit-identical across repeated runs, --sharded-jobs worker counts and
+ * a mid-burst checkpoint/restore (the CI tenant job relies on this —
+ * keep host-dependent fields out of the JSON).
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "tenant_scenario.hh"
+
+namespace
+{
+
+constexpr sim::Tick horizon = bench::tenantHorizon;
+
+using bench::tenantSchemes;
+
+/** Everything one scheme run reports. */
+struct MixRun
+{
+    std::vector<harness::TenantTotals> tenants;
+    std::uint64_t reallocations = 0;
+    std::uint64_t evaluations = 0;
+};
+
+/**
+ * Fixed-horizon run. The FIRST scheme honours --trace, --checkpoint
+ * and --restore; saving reads state only and the checkpoint tick is a
+ * quantum multiple, so the reported numbers are unchanged.
+ */
+MixRun
+runMix(const harness::ExperimentConfig &cfg,
+       const bench::BenchOptions &opts, bool first)
+{
+    harness::TestSystem sys(cfg);
+    const bool tracing = first && !opts.tracePath.empty();
+    if (tracing) {
+        // The antagonist's LLC thrashing makes the shared cache
+        // source far hotter than a plain burst run; size the ring so
+        // trace_summary.py's exact cross-check sees zero truncation.
+        harness::enableTracing(sys, 1u << 20);
+    }
+    sys.start();
+
+    if (first && !opts.restorePath.empty()) {
+        const bench::WarmState w =
+            bench::loadWarmState(opts.restorePath);
+        sys.restore(w.blob);
+    }
+
+    bool saved = !(first && !opts.checkpointPath.empty());
+    while (sys.simulation().now() < horizon) {
+        sys.runFor(bench::burstQuantum);
+        if (!saved && sys.simulation().now() >= bench::warmStartTick) {
+            saved = true;
+            bench::WarmState w;
+            w.tick = sys.simulation().now();
+            w.blob = sys.checkpoint();
+            bench::saveWarmState(opts.checkpointPath, w);
+        }
+    }
+
+    MixRun r;
+    r.tenants = sys.tenantTotals();
+    if (sys.iocaController()) {
+        r.reallocations = sys.iocaController()->reallocations.get();
+        r.evaluations = sys.iocaController()->evaluations.get();
+    }
+    if (tracing)
+        harness::writeTraceArtifacts(opts.tracePath, sys);
+    return r;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::parseBenchOptions(argc, argv);
+    if (opts.cores || opts.rxQueues || opts.linkPcieNs > 0.0 ||
+        opts.linkMeshNs > 0.0) {
+        std::fprintf(stderr,
+                     "tenant_mix: --cores/--rx-queues/--link-*-ns are "
+                     "incompatible with the tenant layout\n");
+        return 2;
+    }
+
+    std::printf("=== Tenant mix: noisy-neighbor isolation, "
+                "%zu schemes on one scenario ===\n",
+                std::size(tenantSchemes));
+    bench::printConfigEcho(bench::tenantMixConfig(tenantSchemes[0]));
+
+    std::vector<harness::ExperimentConfig> cfgs;
+    for (const bench::TenantScheme &s : tenantSchemes) {
+        cfgs.push_back(bench::tenantMixConfig(s));
+        if (opts.seed)
+            cfgs.back().seed = *opts.seed;
+        if (opts.shardedJobs) {
+            cfgs.back().sharded = true;
+            cfgs.back().shardJobs = opts.shardedJobs;
+        }
+    }
+
+    std::vector<MixRun> runs;
+    for (std::size_t i = 0; i < cfgs.size(); ++i)
+        runs.push_back(runMix(cfgs[i], opts, i == 0));
+
+    stats::TablePrinter table({"config", "tenant", "slo", "ways", "rx",
+                               "drops", "processed", "p99 us",
+                               "p99.9 us"});
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        for (std::size_t t = 0; t < runs[i].tenants.size(); ++t) {
+            const harness::TenantTotals &tt = runs[i].tenants[t];
+            const harness::TenantSpec &spec = cfgs[i].tenants[t];
+            table.addRow(
+                {tenantSchemes[i].label, tt.name,
+                 tenant::sloClassName(spec.slo),
+                 std::to_string(tt.ways),
+                 std::to_string(tt.rxPackets),
+                 std::to_string(tt.rxDrops),
+                 std::to_string(tt.processedPackets),
+                 stats::TablePrinter::num(sim::ticksToUs(tt.p99), 2),
+                 stats::TablePrinter::num(sim::ticksToUs(tt.p999),
+                                          2)});
+        }
+    }
+    table.print(std::cout);
+
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        if (tenantSchemes[i].partition != harness::TenantPartition::Ioca)
+            continue;
+        std::printf("\n%s controller: %llu evaluations, %llu way "
+                    "reallocations\n",
+                    tenantSchemes[i].label,
+                    (unsigned long long)runs[i].evaluations,
+                    (unsigned long long)runs[i].reallocations);
+    }
+
+    // Machine-readable rows. Deliberately free of host-dependent
+    // fields (job counts, timings): the CI tenant job byte-compares
+    // this file across runs and --sharded-jobs worker counts.
+    if (!opts.jsonPath.empty()) {
+        std::ofstream ofs(opts.jsonPath);
+        if (!ofs)
+            sim::fatal("cannot open JSON output file '%s'",
+                       opts.jsonPath.c_str());
+        stats::JsonWriter w(ofs);
+        w.beginObject();
+        w.field("bench", "tenant_mix");
+        w.field("horizonUs", sim::ticksToUs(horizon));
+        w.field("seed", cfgs[0].seed);
+        w.beginArray("configs");
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            w.beginObject();
+            w.field("config", tenantSchemes[i].label);
+            w.field("policy", idio::policyName(tenantSchemes[i].policy));
+            w.field("partition",
+                    harness::tenantPartitionName(
+                        tenantSchemes[i].partition));
+            w.field("evaluations", runs[i].evaluations);
+            w.field("reallocations", runs[i].reallocations);
+            w.beginArray("tenants");
+            for (std::size_t t = 0; t < runs[i].tenants.size(); ++t) {
+                const harness::TenantTotals &tt = runs[i].tenants[t];
+                const harness::TenantSpec &spec = cfgs[i].tenants[t];
+                w.beginObject();
+                w.field("tenant", tt.name);
+                w.field("slo", tenant::sloClassName(spec.slo));
+                w.field("ways", tt.ways);
+                w.field("rxPackets", tt.rxPackets);
+                w.field("rxDrops", tt.rxDrops);
+                w.field("processedPackets", tt.processedPackets);
+                w.field("mlcWritebacks", tt.mlcWritebacks);
+                w.field("p50Us", sim::ticksToUs(tt.p50));
+                w.field("p99Us", sim::ticksToUs(tt.p99));
+                w.field("p999Us", sim::ticksToUs(tt.p999));
+                w.end();
+            }
+            w.end(); // tenants
+            w.end(); // config object
+        }
+        w.end(); // configs
+        w.end(); // top-level
+        ofs << "\n";
+        std::printf("\n# JSON rows written to %s\n",
+                    opts.jsonPath.c_str());
+    }
+
+    return 0;
+}

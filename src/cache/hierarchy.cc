@@ -5,6 +5,7 @@
 
 #include "hierarchy.hh"
 
+#include "ckpt/serializer.hh"
 #include "mem/phys_alloc.hh"
 #include "sim/simulation.hh"
 
@@ -30,6 +31,10 @@ MemoryHierarchy::MemoryHierarchy(sim::Simulation &simulation,
 {
     if (cfg.numCores == 0 || cfg.numCores > 63)
         sim::fatal("numCores %u out of range [1, 63]", cfg.numCores);
+
+    allocMasks.reserve(cfg.numCores);
+    for (std::uint32_t c = 0; c < cfg.numCores; ++c)
+        allocMasks.push_back(cfg.coreLlcMask(c));
 
     l1Lat = cfg.cyclesToTicks(cfg.l1.latencyCycles);
     mlcLat = cfg.cyclesToTicks(cfg.mlc.latencyCycles);
@@ -204,7 +209,7 @@ MemoryHierarchy::evictMlcVictim(sim::CoreId core, CacheLine victim)
 
     if (victim.dirty || cfg.insertCleanVictims) {
         llcInsertVictim(victim.addr, victim.dirty, victim.io,
-                        cfg.coreLlcMask(core));
+                        allocMasks[core]);
         if (mlcWbObserver)
             mlcWbObserver(core);
     }
@@ -374,7 +379,7 @@ MemoryHierarchy::handleDirectoryVictim(const DirectoryVictim &victim)
                                now(), 0, dirty ? 1 : 0, victim.addr);
             if (dirty || cfg.insertCleanVictims) {
                 llcInsertVictim(victim.addr, dirty, io,
-                                cfg.coreLlcMask(c));
+                                allocMasks[c]);
                 if (mlcWbObserver)
                     mlcWbObserver(c);
             }
@@ -820,7 +825,7 @@ MemoryHierarchy::splitHandleVictimWb(sim::CoreId core, sim::Addr addr,
     IDIO_TRACE_INSTANT(trc, trace::EventKind::CacheMlcEvict, now(), 0,
                        dirty ? 1 : 0, addr);
     if (dirty || cfg.insertCleanVictims) {
-        llcInsertVictim(addr, dirty, io, cfg.coreLlcMask(core));
+        llcInsertVictim(addr, dirty, io, allocMasks[core]);
         if (mlcWbObserver)
             mlcWbObserver(core);
     }
@@ -869,6 +874,31 @@ MemoryHierarchy::totalMlcPcieInvals() const
     for (const auto &m : mlcs)
         n += m->pcieInvals.get();
     return n;
+}
+
+void
+MemoryHierarchy::setCoreAllocMask(sim::CoreId core, WayMask mask)
+{
+    if ((mask & lowWays(sharedLlc->tags().assoc())) == 0)
+        sim::fatal("core %u alloc mask %#llx selects no LLC way",
+                   core, static_cast<unsigned long long>(mask));
+    allocMasks[core] = mask;
+}
+
+void
+MemoryHierarchy::serialize(ckpt::Serializer &s) const
+{
+    // Only the runtime-mutable CAT masks: cache contents live in the
+    // child objects and everything else is rebuilt by construction.
+    for (const WayMask m : allocMasks)
+        s.writeU64(m);
+}
+
+void
+MemoryHierarchy::unserialize(ckpt::Deserializer &d)
+{
+    for (auto &m : allocMasks)
+        m = d.readU64();
 }
 
 } // namespace cache

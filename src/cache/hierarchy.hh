@@ -247,6 +247,26 @@ class MemoryHierarchy : public sim::SimObject
     /** @} */
     /** @} */
 
+    /**
+     * @{ Runtime CAT-style per-core LLC allocation masks.
+     *
+     * Initialised from HierarchyConfig::llcAllocMask and consulted on
+     * every MLC-victim insertion (the CAT enforcement point: the fill
+     * slot is chosen among `mask & lowWays(assoc)` ways only, so a
+     * core's evictions can never displace lines outside its mask).
+     * The tenant::TenantManager re-programs these at run time; the
+     * masks are checkpointed so a restored run keeps the partition.
+     */
+    WayMask coreAllocMask(sim::CoreId core) const
+    {
+        return allocMasks[core];
+    }
+    void setCoreAllocMask(sim::CoreId core, WayMask mask);
+    /** @} */
+
+    void serialize(ckpt::Serializer &s) const override;
+    void unserialize(ckpt::Deserializer &d) override;
+
     /** @{ Component access. */
     PrivateCache &l1(sim::CoreId core) { return *l1s[core]; }
     PrivateCache &mlcOf(sim::CoreId core) { return *mlcs[core]; }
@@ -354,6 +374,10 @@ class MemoryHierarchy : public sim::SimObject
     }
 
     HierarchyConfig cfg;
+
+    /** Runtime per-core LLC allocation masks (see coreAllocMask). */
+    std::vector<WayMask> allocMasks;
+
     trace::Source trc;
     sim::Tick l1Lat;
     sim::Tick mlcLat;

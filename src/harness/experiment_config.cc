@@ -26,6 +26,20 @@ nfKindName(NfKind kind)
     return "?";
 }
 
+const char *
+tenantPartitionName(TenantPartition p)
+{
+    switch (p) {
+      case TenantPartition::None:
+        return "shared";
+      case TenantPartition::Static:
+        return "static";
+      case TenantPartition::Ioca:
+        return "ioca";
+    }
+    return "?";
+}
+
 std::string
 ExperimentConfig::summary() const
 {
@@ -58,6 +72,12 @@ ExperimentConfig::summary() const
                           totalFlows
                               ? totalFlows
                               : std::uint64_t(flowsPerNf) * numNfs));
+        out += buf;
+    }
+    if (tenantMode()) {
+        std::snprintf(buf, sizeof(buf), ", tenants=%zu(%s)",
+                      tenants.size(),
+                      tenantPartitionName(tenantPartition));
         out += buf;
     }
     if (sharded) {

@@ -24,6 +24,8 @@
 #include "dpdk/mbuf.hh"
 #include "nf/network_function.hh"
 #include "nic/nic.hh"
+#include "tenant/ioca.hh"
+#include "tenant/tenant.hh"
 
 namespace harness
 {
@@ -47,6 +49,47 @@ enum class TrafficKind
     Bursty,
     Poisson,
     None, ///< no built-in generator (caller drives the NICs)
+};
+
+/** How the LLC's non-I/O ways are shared between tenants. */
+enum class TenantPartition
+{
+    None,   ///< all tenants may allocate anywhere (DDIO/IDIO sharing)
+    Static, ///< equal CAT split, fixed for the whole run
+    Ioca,   ///< adaptive split driven by tenant::IocaController
+};
+
+/** Printable partition-mode name. */
+const char *tenantPartitionName(TenantPartition p);
+
+/**
+ * One tenant of a multi-tenant run (cfg.tenants). Tenant mode uses
+ * the legacy I/O layout — one single-queue NIC port + generator per
+ * NF core, EP-rule flow steering — because each tenant needs its own
+ * NF kind, traffic shape and rate; antagonist tenants get aggressor
+ * cores (shrunken MLC, no NF pipeline) instead.
+ */
+struct TenantSpec
+{
+    std::string name;
+    tenant::SloClass slo = tenant::SloClass::Throughput;
+
+    /** Cores (one NF pipeline each; aggressors for antagonists). */
+    std::uint32_t cores = 1;
+
+    /** True: run LLC aggressors instead of NF pipelines. */
+    bool antagonist = false;
+
+    /** @{ NF-tenant workload (ignored for antagonists). */
+    NfKind nfKind = NfKind::TouchDrop;
+    TrafficKind traffic = TrafficKind::Bursty;
+
+    /** Per-port rate, Gbps (0 = the run-wide cfg.rateGbps). */
+    double rateGbps = 0.0;
+
+    /** Stop this tenant's traffic at this tick (departure churn). */
+    sim::Tick stopAt = sim::maxTick;
+    /** @} */
 };
 
 /**
@@ -118,6 +161,46 @@ struct ExperimentConfig
      * millions are affordable; steering is pure RSS (no EP rules).
      */
     std::uint64_t totalFlows = 0;
+    /** @} */
+
+    /** @{ Multi-tenant layout (src/tenant). */
+
+    /**
+     * Tenant set. Non-empty switches the system into tenant mode:
+     * numNfs is derived from the specs (NF cores first in spec order,
+     * then antagonist cores), and nfKind/traffic/rateGbps come from
+     * each tenant's spec instead of the run-wide knobs. Incompatible
+     * with multiQueue(), withAntagonist and split links.
+     */
+    std::vector<TenantSpec> tenants;
+
+    /** LLC sharing mode between the tenants. */
+    TenantPartition tenantPartition = TenantPartition::None;
+
+    /** Adaptive-controller knobs (TenantPartition::Ioca). */
+    tenant::IocaConfig ioca;
+
+    bool tenantMode() const { return !tenants.empty(); }
+
+    /** NF pipelines across all tenants. */
+    std::uint32_t
+    tenantNfCores() const
+    {
+        std::uint32_t n = 0;
+        for (const auto &t : tenants)
+            n += t.antagonist ? 0 : t.cores;
+        return n;
+    }
+
+    /** All tenant cores (NF pipelines + aggressors). */
+    std::uint32_t
+    tenantCores() const
+    {
+        std::uint32_t n = 0;
+        for (const auto &t : tenants)
+            n += t.cores;
+        return n;
+    }
     /** @} */
 
     /** @{ Sharded execution (src/sim/shard). */

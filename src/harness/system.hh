@@ -10,8 +10,11 @@
  * synthetic flow population — the paper's actual machine shape).
  * With cfg.sharded, runFor() drives the model through a
  * conservative-window ShardedExecutor built from the declared domain
- * topology. Every bench, example and integration test builds on this
- * class.
+ * topology. cfg.tenants switches the legacy layout into tenant mode:
+ * per-tenant NF kinds/traffic on the NF cores, aggressor cores for
+ * antagonist tenants, and a tenant::TenantManager (plus optional
+ * IocaController) programming the LLC's CAT way partition. Every
+ * bench, example and integration test builds on this class.
  */
 
 #ifndef IDIO_HARNESS_SYSTEM_HH
@@ -37,6 +40,8 @@
 #include "sim/checker/invariant_checker.hh"
 #include "sim/shard/executor.hh"
 #include "sim/simulation.hh"
+#include "tenant/ioca.hh"
+#include "tenant/manager.hh"
 
 namespace harness
 {
@@ -58,6 +63,26 @@ struct Totals
 
     /** Field-wise equality; the sweep determinism tests rely on it. */
     bool operator==(const Totals &o) const = default;
+};
+
+/**
+ * Per-tenant slice of the run (tenant mode only). Latency percentiles
+ * are exact nearest-rank over the merged samples of the tenant's NFs;
+ * antagonist tenants report zero traffic.
+ */
+struct TenantTotals
+{
+    std::string name;
+    std::uint64_t rxPackets = 0;
+    std::uint64_t rxDrops = 0;
+    std::uint64_t processedPackets = 0;
+    std::uint64_t mlcWritebacks = 0; ///< member cores, dirty + clean
+    sim::Tick p50 = 0;               ///< per-packet latency, ticks
+    sim::Tick p99 = 0;
+    sim::Tick p999 = 0;
+    std::uint32_t ways = 0; ///< current partition (0 = unpartitioned)
+
+    bool operator==(const TenantTotals &o) const = default;
 };
 
 /**
@@ -103,6 +128,8 @@ class TestSystem
     dpdk::Mempool &mempool(std::uint32_t i) { return *pools[i]; }
     gen::TrafficSource &trafficGen(std::uint32_t i) { return *gens[i]; }
     nf::LlcAntagonist *antagonist() { return antag.get(); }
+    tenant::TenantManager *tenantManager() { return tenantMgr.get(); }
+    tenant::IocaController *iocaController() { return ioca.get(); }
     sim::InvariantChecker &invariantChecker() { return *checker; }
     TimelineRecorder &timeline() { return *recorder; }
     mem::PhysAllocator &allocator() { return alloc; }
@@ -129,6 +156,9 @@ class TestSystem
     /** Current transaction totals. */
     Totals totals() const;
 
+    /** Per-tenant totals (empty outside tenant mode). */
+    std::vector<TenantTotals> tenantTotals() const;
+
     /** Register the default figure series on the timeline. */
     void trackDefaultSeries();
 
@@ -146,6 +176,9 @@ class TestSystem
     std::vector<std::unique_ptr<nf::NetworkFunction>> nfs;
     std::vector<std::unique_ptr<gen::TrafficSource>> gens;
     std::unique_ptr<nf::LlcAntagonist> antag;
+    std::vector<std::unique_ptr<nf::LlcAntagonist>> tenantAntags;
+    std::unique_ptr<tenant::TenantManager> tenantMgr;
+    std::unique_ptr<tenant::IocaController> ioca;
     std::unique_ptr<sim::InvariantChecker> checker;
     std::unique_ptr<TimelineRecorder> recorder;
     std::unique_ptr<sim::shard::ShardedExecutor> shardExec;
@@ -160,6 +193,9 @@ class TestSystem
     /** @} */
 
     void buildShardExecutor();
+
+    void validateTenantConfig() const;
+    void buildTenants();
 
     bool started = false;
 };

@@ -58,6 +58,37 @@ writeTraceArtifacts(const std::string &path, TestSystem &system)
     w.field("mlcSelfInvals", selfInvals);
     w.field("traceDropped",
             system.simulation().tracer().totalDropped());
+
+    // Tenant mode: per-tenant slices, with the core->tenant map the
+    // trace analyzer needs to attribute events (nf.consume carries the
+    // consuming core; NIC sources are per-core in the legacy layout).
+    const std::vector<TenantTotals> tenants = system.tenantTotals();
+    if (!tenants.empty()) {
+        const tenant::TenantManager &mgr = *system.tenantManager();
+        w.beginArray("tenants");
+        for (std::uint32_t id = 0; id < tenants.size(); ++id) {
+            const TenantTotals &tt = tenants[id];
+            const tenant::Tenant &t = mgr.tenant(id);
+            w.beginObject();
+            w.field("name", tt.name);
+            w.field("slo", tenant::sloClassName(t.slo));
+            w.field("antagonist", t.antagonist);
+            w.beginArray("cores");
+            for (const sim::CoreId c : t.cores)
+                w.value(static_cast<std::uint64_t>(c));
+            w.end();
+            w.field("rxPackets", tt.rxPackets);
+            w.field("rxDrops", tt.rxDrops);
+            w.field("processedPackets", tt.processedPackets);
+            w.field("mlcWritebacks", tt.mlcWritebacks);
+            w.field("ways", tt.ways);
+            w.field("p50Us", sim::ticksToUs(tt.p50));
+            w.field("p99Us", sim::ticksToUs(tt.p99));
+            w.field("p999Us", sim::ticksToUs(tt.p999));
+            w.end();
+        }
+        w.end();
+    }
     w.end();
     ofs << "\n";
 }

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * TenantManager implementation.
+ */
+
+#include "manager.hh"
+
+#include "ckpt/serializer.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace tenant
+{
+
+const char *
+sloClassName(SloClass slo)
+{
+    switch (slo) {
+      case SloClass::LatencyCritical:
+        return "latency";
+      case SloClass::Throughput:
+        return "throughput";
+      case SloClass::BestEffort:
+        return "besteffort";
+    }
+    return "?";
+}
+
+std::uint32_t
+sloWeight(SloClass slo)
+{
+    switch (slo) {
+      case SloClass::LatencyCritical:
+        return 4;
+      case SloClass::Throughput:
+        return 1;
+      case SloClass::BestEffort:
+        return 0;
+    }
+    return 0;
+}
+
+TenantManager::PerTenant::PerTenant(stats::Registry &registry,
+                                    trace::Tracer &tracer,
+                                    const std::string &groupName)
+    : group(registry, groupName),
+      reconfigs(group, "maskReconfigs",
+                "LLC way-mask reconfigurations applied"),
+      ways(group, "ways", "LLC ways currently held"),
+      trc(tracer.registerSource(groupName))
+{
+}
+
+TenantManager::TenantManager(sim::Simulation &simulation,
+                             const std::string &name,
+                             cache::MemoryHierarchy &hierarchy,
+                             std::vector<Tenant> tenantSet,
+                             bool partitioned)
+    : sim::SimObject(simulation, name), hier(hierarchy),
+      tenants_(std::move(tenantSet)), partitioned_(partitioned)
+{
+    if (tenants_.empty())
+        sim::fatal("TenantManager needs at least one tenant");
+
+    ioWays_ = hier.llc().ddioWays();
+    const std::uint32_t assoc = hier.llc().tags().assoc();
+    if (ioWays_ >= assoc)
+        sim::fatal("I/O partition (%u ways) leaves no tenant ways "
+                   "(LLC assoc %u)",
+                   ioWays_, assoc);
+    partWays = assoc - ioWays_;
+    if (partitioned_ && partWays < numTenants())
+        sim::fatal("%u tenants need at least one way each but only "
+                   "%u non-I/O ways exist",
+                   numTenants(), partWays);
+
+    coreTenant.assign(hier.numCores(), -1);
+    for (std::uint32_t id = 0; id < numTenants(); ++id) {
+        tenants_[id].id = id;
+        for (const sim::CoreId c : tenants_[id].cores) {
+            if (c >= hier.numCores())
+                sim::fatal("tenant '%s' claims core %u beyond the "
+                           "hierarchy's %u cores",
+                           tenants_[id].name.c_str(), c,
+                           hier.numCores());
+            if (coreTenant[c] != -1)
+                sim::fatal("core %u claimed by two tenants", c);
+            coreTenant[c] = static_cast<std::int32_t>(id);
+        }
+        obs.push_back(std::make_unique<PerTenant>(
+            simulation.statsRegistry(), simulation.tracer(),
+            name + "." + tenants_[id].name));
+    }
+
+    if (partitioned_) {
+        // Initial policy: equal split of the non-I/O ways, remainder
+        // to the lowest tenant ids.
+        const std::uint32_t base = partWays / numTenants();
+        const std::uint32_t rem = partWays % numTenants();
+        for (std::uint32_t id = 0; id < numTenants(); ++id)
+            tenants_[id].ways = base + (id < rem ? 1 : 0);
+    }
+    layoutMasks(/*countReconfigs=*/false);
+}
+
+std::uint32_t
+TenantManager::tenantOfCore(sim::CoreId core) const
+{
+    if (core >= coreTenant.size() || coreTenant[core] < 0)
+        sim::fatal("core %u belongs to no tenant", core);
+    return static_cast<std::uint32_t>(coreTenant[core]);
+}
+
+void
+TenantManager::installMask(std::uint32_t id)
+{
+    for (const sim::CoreId c : tenants_[id].cores)
+        hier.setCoreAllocMask(c, tenants_[id].mask);
+}
+
+void
+TenantManager::layoutMasks(bool countReconfigs)
+{
+    std::uint32_t offset = ioWays_;
+    for (std::uint32_t id = 0; id < numTenants(); ++id) {
+        Tenant &t = tenants_[id];
+        cache::WayMask mask;
+        if (partitioned_) {
+            SIM_ASSERT(t.ways >= 1, "tenant partition underflow");
+            mask = cache::lowWays(t.ways) << offset;
+            offset += t.ways;
+        } else {
+            mask = ~cache::WayMask(0);
+        }
+        obs[id]->ways.set(static_cast<double>(t.ways));
+        if (mask == t.mask)
+            continue;
+        t.mask = mask;
+        installMask(id);
+        if (countReconfigs) {
+            ++obs[id]->reconfigs;
+            IDIO_TRACE_COUNTER(obs[id]->trc,
+                               trace::EventKind::TenantWays, now(),
+                               t.ways, id);
+        }
+    }
+    SIM_ASSERT(offset <= ioWays_ + partWays,
+               "tenant partition overflows the LLC ways");
+}
+
+void
+TenantManager::setPartition(const std::vector<std::uint32_t> &wayCounts)
+{
+    if (!partitioned_)
+        sim::fatal("setPartition on an unpartitioned TenantManager");
+    if (wayCounts.size() != tenants_.size())
+        sim::fatal("setPartition got %zu way counts for %zu tenants",
+                   wayCounts.size(), tenants_.size());
+    std::uint32_t sum = 0;
+    for (const std::uint32_t w : wayCounts) {
+        if (w == 0)
+            sim::fatal("setPartition: zero-way tenant partition");
+        sum += w;
+    }
+    if (sum > partWays)
+        sim::fatal("setPartition: %u ways requested, %u available",
+                   sum, partWays);
+    for (std::uint32_t id = 0; id < numTenants(); ++id)
+        tenants_[id].ways = wayCounts[id];
+    layoutMasks(/*countReconfigs=*/true);
+}
+
+std::uint64_t
+TenantManager::maskReconfigs(std::uint32_t id) const
+{
+    return obs[id]->reconfigs.get();
+}
+
+void
+TenantManager::serialize(ckpt::Serializer &s) const
+{
+    for (const Tenant &t : tenants_) {
+        s.writeU64(t.mask);
+        s.writeU32(t.ways);
+    }
+}
+
+void
+TenantManager::unserialize(ckpt::Deserializer &d)
+{
+    for (Tenant &t : tenants_) {
+        t.mask = d.readU64();
+        t.ways = d.readU32();
+        obs[t.id]->ways.set(static_cast<double>(t.ways));
+    }
+    // Reinstall so the hierarchy and the descriptors agree even if
+    // the hierarchy section predates this one in the blob.
+    for (std::uint32_t id = 0; id < numTenants(); ++id)
+        installMask(id);
+}
+
+} // namespace tenant

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tenant registry and CAT partition programmer.
+ *
+ * The TenantManager owns the run's Tenant descriptors and is the only
+ * component that writes the MemoryHierarchy's per-core LLC allocation
+ * masks. The LLC's ways split into two regions: the low `ddioWays`
+ * ways remain the shared inbound-I/O partition (DDIO write-allocates
+ * there), and the remaining ways are divided between tenants as
+ * contiguous, non-overlapping CAT partitions. Enforcement happens in
+ * TagArray::findFillSlot — a fill candidate set is ANDed with the
+ * core's mask — so a tenant's MLC victims can never displace another
+ * tenant's lines.
+ *
+ * Partition changes go through setPartition(), which reprograms every
+ * affected core at the current tick (deterministically ordered by
+ * tenant id), bumps the per-tenant reconfig counter and emits a
+ * `tenant.ways` trace sample. Masks and way counts are checkpointed,
+ * so a restored run resumes with the exact partition it saved.
+ */
+
+#ifndef IDIO_TENANT_MANAGER_HH
+#define IDIO_TENANT_MANAGER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "sim/sim_object.hh"
+#include "stats/registry.hh"
+#include "tenant/tenant.hh"
+#include "trace/tracer.hh"
+
+namespace tenant
+{
+
+/**
+ * Owns the tenant set and programs the LLC way partition.
+ */
+class TenantManager : public sim::SimObject
+{
+  public:
+    /**
+     * @param partitioned  Install per-tenant CAT masks. When false the
+     *                     tenants keep all-ways masks (plain DDIO /
+     *                     IDIO sharing) and only the bookkeeping —
+     *                     per-tenant stats, core mapping — is active.
+     */
+    TenantManager(sim::Simulation &simulation, const std::string &name,
+                  cache::MemoryHierarchy &hierarchy,
+                  std::vector<Tenant> tenantSet, bool partitioned);
+
+    /** @{ Tenant set access. */
+    std::uint32_t numTenants() const
+    {
+        return static_cast<std::uint32_t>(tenants_.size());
+    }
+    const Tenant &tenant(std::uint32_t id) const
+    {
+        return tenants_[id];
+    }
+
+    /** Owning tenant of @p core; fatal for an unmapped core. */
+    std::uint32_t tenantOfCore(sim::CoreId core) const;
+
+    bool partitioned() const { return partitioned_; }
+
+    /** Low LLC ways reserved for inbound I/O (the DDIO partition). */
+    std::uint32_t ioWays() const { return ioWays_; }
+
+    /** Ways available to tenant partitions (assoc - ioWays). */
+    std::uint32_t partitionWays() const { return partWays; }
+    /** @} */
+
+    /**
+     * Reassign the partition: @p wayCounts holds one way count per
+     * tenant (>= 1 each, summing to at most partitionWays()). Masks
+     * are recomputed contiguously in tenant-id order and installed on
+     * every member core whose tenant changed size or position.
+     */
+    void setPartition(const std::vector<std::uint32_t> &wayCounts);
+
+    /** Per-tenant mask reconfigurations applied after build. */
+    std::uint64_t maskReconfigs(std::uint32_t id) const;
+
+    void serialize(ckpt::Serializer &s) const override;
+    void unserialize(ckpt::Deserializer &d) override;
+
+  private:
+    /** Install tenant @p id 's current mask on its member cores. */
+    void installMask(std::uint32_t id);
+
+    /** Recompute contiguous masks from the tenants' way counts. */
+    void layoutMasks(bool countReconfigs);
+
+    /** Per-tenant observability (stats group + trace source). */
+    struct PerTenant
+    {
+        PerTenant(stats::Registry &registry, trace::Tracer &tracer,
+                  const std::string &groupName);
+
+        stats::StatGroup group;
+        stats::Counter reconfigs;
+        stats::Gauge ways;
+        trace::Source trc;
+    };
+
+    cache::MemoryHierarchy &hier;
+    std::vector<Tenant> tenants_;
+    std::vector<std::unique_ptr<PerTenant>> obs;
+    std::vector<std::int32_t> coreTenant; ///< core id -> tenant id
+    bool partitioned_;
+    std::uint32_t ioWays_ = 0;
+    std::uint32_t partWays = 0;
+};
+
+} // namespace tenant
+
+#endif // IDIO_TENANT_MANAGER_HH

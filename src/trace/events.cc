@@ -50,6 +50,9 @@ constexpr KindInfo kinds[] = {
     {"dpdk.ringBacklog", "dpdk", Phase::Counter, nullptr, nullptr},
     // nf
     {"nf.consume", "nf", Phase::Complete, "core", "bytes"},
+    // tenant
+    {"tenant.ways", "tenant", Phase::Counter, "tenant", nullptr},
+    {"tenant.realloc", "tenant", Phase::Instant, "from", "to"},
 };
 
 static_assert(sizeof(kinds) / sizeof(kinds[0]) ==

@@ -64,6 +64,11 @@ enum class EventKind : std::uint8_t
     NfConsume, ///< span: one packet processed (== processedPackets)
     /** @} */
 
+    /** @{ Multi-tenant LLC partitioning (src/tenant). */
+    TenantWays,    ///< counter: ways allocated to a tenant partition
+    TenantRealloc, ///< controller moved one way between tenants
+    /** @} */
+
     NumKinds,
 };
 
@@ -78,7 +83,7 @@ enum class Phase : std::uint8_t
 /** Stable event name ("nic.rx", "cache.mlcEvict", ...). */
 const char *eventName(EventKind kind);
 
-/** Category ("nic", "idio", "cache", "dpdk", "nf"). */
+/** Category ("nic", "idio", "cache", "dpdk", "nf", "tenant"). */
 const char *eventCategory(EventKind kind);
 
 /** Natural phase of the kind. */

@@ -9,11 +9,12 @@ comparison walks every numeric leaf shared by both files and infers the
 "good" direction from the metric name:
 
   higher is better   *PerSec, *speedup*, *_per_wall_sec*
-  lower is better    nsPer*, *wallSec*, *WallSec*, events_per_packet
+  lower is better    nsPer*, *wallSec*, *WallSec*, events_per_packet,
+                     *_p99_us-style simulated latency percentiles
   informational      ops, configs, jobs, hw_threads, deterministic,
                      packets, events, cores, rx_queues, flows,
-                     link_pcie_ns, link_mesh_ns, micro_reps
-                     — never compared
+                     link_pcie_ns, link_mesh_ns, micro_reps,
+                     reallocations — never compared
 
 A higher-is-better metric that dropped by more than --tolerance
 (default 15%) is a hard regression: the script exits 1. Lower-is-better
@@ -37,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 
@@ -54,11 +56,21 @@ INFORMATIONAL = {
     "link_pcie_ns",
     "link_mesh_ns",
     "micro_reps",
+    "reallocations",
 }
 
 # Lower-is-better metrics that hard-gate (host-independent work
 # counters, not wall-clock readings).
 HARD_LOWER = {"events_per_packet"}
+
+# Simulated latency percentiles (tenant.*.rpc_p99_us and friends):
+# deterministic model outputs, so a rise beyond tolerance is a real
+# behaviour regression and gates hard, lower-is-better.
+SIM_LATENCY_RE = re.compile(r"_p\d+_us$")
+
+
+def is_hard_lower(leaf: str) -> bool:
+    return leaf in HARD_LOWER or bool(SIM_LATENCY_RE.search(leaf))
 
 
 def flatten(node, prefix=""):
@@ -79,7 +91,7 @@ def direction(path: str):
         return None
     # Throughput rates first: "packets_per_wall_sec" contains
     # "wall_sec" and must not fall into the lower-is-better bucket.
-    if leaf in HARD_LOWER:
+    if is_hard_lower(leaf):
         return -1
     if "per_wall_sec" in leaf:
         return +1
@@ -124,7 +136,7 @@ def main() -> int:
         if sense is None:
             continue
         leaf = path.rsplit(".", 1)[-1]
-        hard = leaf in HARD_LOWER or (sense > 0 and not single_thread)
+        hard = is_hard_lower(leaf) or (sense > 0 and not single_thread)
         b, c = base[path], cur[path]
         if b == 0:
             continue

@@ -17,12 +17,22 @@ alongside every ``--trace`` run) the tool additionally asserts that
 every trace-derived count exactly matches the simulator's own
 ``harness::Totals`` counters and exits non-zero on any mismatch —
 the CI trace smoke gate.
+
+With ``--by-tenant`` (tenant-mode traces, e.g. ``bench/tenant_mix
+--trace``) the tool also prints per-tenant lifecycle tables and
+per-stage latency percentiles, attributing events through the
+core->tenant map in the sidecar's ``tenants`` array (``nf.consume``
+carries the consuming core; NIC events come from the per-core
+``system.nf<i>.nic`` sources). Every attributable per-tenant count is
+cross-checked exactly against the sidecar's per-tenant totals; any
+mismatch exits non-zero.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from collections import Counter, defaultdict
 
@@ -180,6 +190,133 @@ def check_totals(counts: Counter, sidecar_path: str,
     return failures
 
 
+# sidecar tenant field -> trace event name (the per-tenant slice of
+# CHECKS; cache events come from the shared hierarchy source and are
+# not attributable to a tenant from the trace alone)
+TENANT_CHECKS = [
+    ("rxPackets", "nic.rx"),
+    ("rxDrops", "nic.drop"),
+    ("processedPackets", "nf.consume"),
+]
+
+
+def source_core(name: str) -> int | None:
+    """Core id of a per-core source name (``system.nf<i>...``)."""
+    m = re.match(r"system\.nf(\d+)(?:\.|$)", name)
+    return int(m.group(1)) if m else None
+
+
+def tenant_breakdown(trace: dict, sidecar_path: str,
+                     dropped: int) -> int:
+    """Per-tenant tables + exact cross-check; returns failure count."""
+    with open(sidecar_path) as fh:
+        totals = json.load(fh)
+    tenants = totals.get("tenants")
+    if not tenants:
+        print(f"FAIL --by-tenant: sidecar {sidecar_path} has no "
+              "'tenants' array (not a tenant-mode trace?)")
+        return 1
+
+    core_to_tenant: dict[int, str] = {}
+    for t in tenants:
+        for c in t.get("cores", []):
+            core_to_tenant[c] = t["name"]
+
+    tid_to_core: dict[int, int] = {}
+    for s in trace.get("idio", {}).get("sources", []):
+        core = source_core(s.get("name", ""))
+        if core is not None:
+            tid_to_core[s["tid"]] = core
+
+    counts: dict[str, Counter] = {t["name"]: Counter()
+                                  for t in tenants}
+    pkt_tenant: dict[int, str] = {}
+    per_pkt: dict[int, dict[str, tuple[float, float]]] = \
+        defaultdict(dict)
+    for ev in trace.get("traceEvents", []):
+        name = ev.get("name", "")
+        args = ev.get("args", {})
+        tenant = None
+        if name.startswith("nic.") or name.startswith("dpdk."):
+            core = tid_to_core.get(ev.get("tid"))
+            tenant = core_to_tenant.get(core)
+        elif "core" in args:
+            tenant = core_to_tenant.get(args["core"])
+        if tenant is not None and ev.get("ph") in ("i", "X", "C"):
+            counts[tenant][name] += 1
+
+        pkt = args.get("pkt")
+        if not pkt:
+            continue
+        if name not in per_pkt[pkt]:
+            per_pkt[pkt][name] = (float(ev["ts"]),
+                                  float(ev.get("dur", 0.0)))
+        if tenant is not None and \
+                (name == "nf.consume" or pkt not in pkt_tenant):
+            pkt_tenant[pkt] = tenant
+
+    # Per-tenant per-stage latencies: a packet belongs to the tenant
+    # that consumed it (falling back to the receiving NIC's tenant).
+    stages: dict[str, dict[str, list[float]]] = \
+        {t["name"]: defaultdict(list) for t in tenants}
+    for pkt, events in per_pkt.items():
+        tenant = pkt_tenant.get(pkt)
+        if tenant is None or "nic.rx" not in events:
+            continue
+        rx_ts = events["nic.rx"][0]
+        if "nf.consume" in events:
+            ts, dur = events["nf.consume"]
+            stages[tenant]["total (rx -> consumed)"].append(
+                ts + dur - rx_ts)
+        if "nic.descWb" in events and "nf.consume" in events:
+            stages[tenant]["ring wait (descWb -> consume)"].append(
+                events["nf.consume"][0] - events["nic.descWb"][0])
+
+    for t in tenants:
+        name = t["name"]
+        label = (f"Tenant '{name}' (slo={t.get('slo', '?')}, "
+                 f"cores={t.get('cores', [])}, "
+                 f"ways={t.get('ways', 0)})")
+        rows = [(lbl, str(counts[name].get(ev, 0)))
+                for lbl, ev in LIFECYCLE_ROWS
+                if ev in ("nic.rx", "nic.drop", "nic.dmaPayload",
+                          "nic.descWb", "nf.consume", "dpdk.alloc",
+                          "dpdk.free")]
+        rows.append(("sidecar p99 / p99.9 (us)",
+                     f"{t.get('p99Us', 0):.3f} / "
+                     f"{t.get('p999Us', 0):.3f}"))
+        print_table(label, rows)
+        for stage, vals in sorted(stages[name].items()):
+            vals.sort()
+            print(f"    {stage:<30} n={len(vals):<7} "
+                  f"p50={percentile(vals, 50):8.3f}us  "
+                  f"p99={percentile(vals, 99):8.3f}us  "
+                  f"max={vals[-1]:8.3f}us")
+
+    print()
+    failures = 0
+    if dropped:
+        print(f"FAIL ring truncation: {dropped} events were "
+              "overwritten; per-tenant counts cannot be "
+              "cross-checked")
+        failures += 1
+    for t in tenants:
+        for field, name in TENANT_CHECKS:
+            if field not in t:
+                continue
+            want = t[field]
+            got = counts[t["name"]].get(name, 0)
+            status = "ok  " if got == want else "FAIL"
+            if got != want:
+                failures += 1
+            print(f"{status} {t['name'] + '.' + name:<28} "
+                  f"trace={got:<10} "
+                  f"tenants[].{field}={want}")
+    if not failures:
+        print("\nall per-tenant trace counts match the sidecar")
+    return failures
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(
         description=__doc__,
@@ -189,6 +326,10 @@ def main() -> int:
     ap.add_argument("--check-totals", metavar="SIDECAR",
                     help="assert trace counts match the "
                     "FILE.totals.json sidecar; exit 1 on mismatch")
+    ap.add_argument("--by-tenant", action="store_true",
+                    help="per-tenant breakdown and exact per-tenant "
+                    "cross-check (needs the totals sidecar, taken "
+                    "from --check-totals or TRACE.totals.json)")
     args = ap.parse_args()
 
     trace = load_trace(args.trace)
@@ -223,9 +364,17 @@ def main() -> int:
                          f"max={vals[-1]:8.3f}us"))
         print_table("Per-stage latency (per packet id)", rows)
 
+    failures = 0
+    if args.by_tenant:
+        print()
+        sidecar = args.check_totals or args.trace + ".totals.json"
+        failures += tenant_breakdown(trace, sidecar, dropped)
+
     if args.check_totals:
         print()
-        failures = check_totals(counts, args.check_totals, dropped)
+        failures += check_totals(counts, args.check_totals, dropped)
+
+    if args.check_totals or args.by_tenant:
         if failures:
             print(f"\n{failures} cross-check(s) FAILED")
             return 1
